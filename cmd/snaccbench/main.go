@@ -1,0 +1,143 @@
+// Command snaccbench regenerates the tables and figures of the SNAcc paper
+// (§5 evaluation, §6 case study) and the §7 ablations from the simulation.
+//
+// Usage:
+//
+//	snaccbench -fig 4a            # sequential NVMe bandwidth
+//	snaccbench -fig 4b            # random 4 KiB bandwidth
+//	snaccbench -fig 4c            # 4 KiB latency
+//	snaccbench -table 1           # FPGA resource utilization
+//	snaccbench -fig 6 -images 512 # case-study bandwidth
+//	snaccbench -fig 7             # case-study PCIe traffic
+//	snaccbench -ablation qd|ooo|multissd|gen5|dram
+//	snaccbench -all               # everything
+//
+// -size scales the per-measurement transfer volume (MiB). Absolute numbers
+// are calibrated against the paper's testbed; see EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"snacc/internal/bench"
+	"snacc/internal/sim"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate: 4a, 4b, 4c, 6, 7")
+	table := flag.String("table", "", "table to regenerate: 1")
+	ablation := flag.String("ablation", "", "ablation to run: qd, ooo, multissd, gen5, dram, hbm, stripedcase, mtu, qp")
+	all := flag.Bool("all", false, "regenerate everything")
+	sizeMiB := flag.Int64("size", 256, "transfer volume per bandwidth measurement (MiB)")
+	images := flag.Int("images", 192, "case-study stream length (paper: 16384)")
+	samples := flag.Int("samples", 200, "latency samples for figure 4c")
+	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	jsonOut := flag.Bool("json", false, "emit tables as JSON instead of aligned text")
+	sweep := flag.Bool("sweep", false, "run the transfer-size convergence sweep")
+	timeline := flag.Bool("timeline", false, "sample write bandwidth over time (shows banding epochs)")
+	flag.Parse()
+
+	size := *sizeMiB * sim.MiB
+	ran := false
+	show := func(t bench.Table) {
+		switch {
+		case *csv:
+			fmt.Print(t.CSV())
+		case *jsonOut:
+			fmt.Println(t.JSON())
+		default:
+			fmt.Println(t)
+		}
+	}
+	run := func(name string, fn func()) {
+		ran = true
+		fmt.Printf("running %s ...\n", name)
+		fn()
+	}
+
+	if *all || *fig == "4a" {
+		run("figure 4a", func() { show(bench.RenderFig4a(bench.Fig4a(size))) })
+	}
+	if *all || *fig == "4b" {
+		run("figure 4b", func() { show(bench.RenderFig4b(bench.Fig4b(size / 4))) })
+	}
+	if *all || *fig == "4c" {
+		run("figure 4c", func() { show(bench.RenderFig4c(bench.Fig4c(*samples))) })
+	}
+	if *all || *table == "1" {
+		run("table 1", func() { show(bench.RenderTable1(bench.Table1())) })
+	}
+	if *all || *fig == "6" || *fig == "7" {
+		run("figures 6 and 7 (shared case-study runs)", func() {
+			rows := bench.Fig6(*images)
+			show(bench.RenderFig6(rows))
+			show(bench.RenderFig7(rows))
+		})
+	}
+	if *all || *ablation == "qd" {
+		run("ablation A1 (queue depth)", func() {
+			show(bench.RenderAblationQD(bench.AblationQD([]int{4, 16, 64, 256}, size/8)))
+		})
+	}
+	if *all || *ablation == "ooo" {
+		run("ablation A2 (out-of-order retirement)", func() {
+			show(bench.RenderAblationOOO(bench.AblationOOO(size / 8)))
+		})
+	}
+	if *all || *ablation == "multissd" {
+		run("ablation A3 (multi-SSD)", func() {
+			show(bench.RenderAblationMultiSSD(bench.AblationMultiSSD([]int{1, 2, 4}, size/2)))
+		})
+	}
+	if *all || *ablation == "gen5" {
+		run("ablation A4 (PCIe 5.0)", func() {
+			show(bench.RenderAblationGen5(bench.AblationGen5(size)))
+		})
+	}
+	if *all || *ablation == "hbm" {
+		run("ablation A6 (HBM staging)", func() {
+			show(bench.RenderAblationHBM(bench.AblationHBM(size)))
+		})
+	}
+	if *all || *ablation == "stripedcase" {
+		run("ablation A7 (striped multi-SSD case study)", func() {
+			show(bench.RenderFig6Striped(bench.Fig6Striped([]int{1, 2, 3}, *images)))
+		})
+	}
+	if *all || *ablation == "dram" {
+		run("ablation A5 (DRAM controller)", func() {
+			show(bench.RenderAblationDRAM(bench.AblationDRAM(size)))
+		})
+	}
+	if *all || *ablation == "qp" {
+		run("ablation A9 (queue pairs on one SSD)", func() {
+			show(bench.RenderAblationQP(bench.AblationQP([]int{1, 2, 4}, size/8)))
+		})
+	}
+	if *all || *ablation == "mtu" {
+		run("ablation A8 (Ethernet MTU)", func() {
+			show(bench.RenderAblationMTU(bench.AblationMTU([]int64{1500, 4096, 9000}, *images)))
+		})
+	}
+
+	if flagTimeline := *timeline; flagTimeline {
+		run("bandwidth timeline", func() {
+			pts := bench.Timeline(0, size, 2*sim.Millisecond)
+			fmt.Println(bench.RenderTimeline("URAM", pts, 8))
+		})
+	}
+	if *sweep {
+		run("transfer-size sweep", func() {
+			sizes := []int64{32 * sim.MiB, 64 * sim.MiB, 128 * sim.MiB, 256 * sim.MiB, 512 * sim.MiB}
+			rows := bench.SweepTransferSize(0, sizes)
+			show(bench.RenderSweep("URAM", rows))
+		})
+	}
+
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

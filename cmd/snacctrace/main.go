@@ -1,0 +1,126 @@
+// Command snacctrace replays the paper's §5.2 Integrated-Logic-Analyzer
+// methodology in simulation: it attaches a transaction tracer to the FPGA
+// card's PCIe boundary, runs a Streamer workload, and prints both the raw
+// transaction trace and the derived analysis (request inter-arrival gaps,
+// completer service latency, implied bandwidth) that the paper used to
+// attribute the URAM write ceiling to PCIe P2P rather than the Streamer.
+//
+// Usage:
+//
+//	snacctrace [-variant uram|obdram|hostdram] [-op write|read]
+//	           [-size MiB] [-events N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"snacc/internal/nvme"
+	"snacc/internal/pcie"
+	"snacc/internal/sim"
+	"snacc/internal/streamer"
+	"snacc/internal/tapasco"
+)
+
+const ssdBAR = 0x10_0000_0000
+
+func main() {
+	variant := flag.String("variant", "uram", "streamer variant: uram, obdram, hostdram")
+	op := flag.String("op", "write", "workload: write or read (1 MiB sequential commands)")
+	sizeMiB := flag.Int64("size", 64, "transfer volume (MiB)")
+	events := flag.Int("events", 24, "raw trace events to print")
+	flag.Parse()
+
+	var v streamer.Variant
+	switch *variant {
+	case "uram":
+		v = streamer.URAM
+	case "obdram":
+		v = streamer.OnboardDRAM
+	case "hostdram":
+		v = streamer.HostDRAM
+	default:
+		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
+		os.Exit(2)
+	}
+
+	k := sim.NewKernel()
+	pl := tapasco.NewPlatform(k, tapasco.DefaultU280())
+	nvme.New(k, pl.Fabric, nvme.DefaultConfig("ssd0", ssdBAR))
+	st := pl.AddStreamer(streamer.DefaultConfig("snacc0", 0, v))
+	drv := tapasco.NewDriver(pl, "ssd0", ssdBAR)
+
+	tr := pcie.NewTracer(k)
+	if v != streamer.HostDRAM {
+		base := st.Config().WindowBase
+		span := uint64(st.Config().ReadBufBytes + st.Config().WriteBufBytes)
+		if v == streamer.URAM {
+			span = uint64(st.Config().ReadBufBytes)
+		}
+		tr.Filter = func(addr uint64, n int64) bool {
+			return addr >= base && addr < base+span && n >= 4096
+		}
+		pl.Card.AttachTracer(tr)
+	} else {
+		// The host-DRAM variant stages in host memory: trace there.
+		hostCfg := pl.Config().Host
+		tr.Filter = func(addr uint64, n int64) bool {
+			return addr >= hostCfg.MemBase && n >= 4096
+		}
+		pl.Host.Port.AttachTracer(tr)
+	}
+
+	var bw float64
+	k.Spawn("main", func(p *sim.Proc) {
+		if err := drv.InitController(p); err != nil {
+			panic(err)
+		}
+		if err := drv.AttachStreamer(p, st, 1); err != nil {
+			panic(err)
+		}
+		c := streamer.NewClient(st)
+		if *op == "read" {
+			// Precondition, then trace the read path.
+			streamer.SeqWrite(p, c, 0, *sizeMiB*sim.MiB)
+			tr.Reset()
+			bw = streamer.SeqRead(p, c, 0, *sizeMiB*sim.MiB).GBps()
+		} else {
+			bw = streamer.SeqWrite(p, c, 0, *sizeMiB*sim.MiB).GBps()
+		}
+	})
+	k.Run(0)
+
+	fmt.Printf("workload: %s %s, %d MiB → %.2f GB/s\n\n", *variant, *op, *sizeMiB, bw)
+
+	evs := tr.Events()
+	fmt.Printf("captured %d transactions at the staging-buffer boundary\n", len(evs))
+	n := *events
+	if n > len(evs) {
+		n = len(evs)
+	}
+	fmt.Println("first events:")
+	for _, e := range evs[:n] {
+		fmt.Printf("  %12v  %-9s addr=%#x len=%d\n", e.At, e.Kind, e.Addr, e.Len)
+	}
+
+	fmt.Println("\nanalysis (the paper's §5.2 ILA reasoning):")
+	if reqs := tr.OfKind(pcie.TraceReadReq); len(reqs) > 1 {
+		gap := tr.MeanGap(pcie.TraceReadReq)
+		fmt.Printf("  controller read requests: %d, mean gap %v → implied fetch BW %.2f GB/s\n",
+			len(reqs), gap, 4096/gap.Seconds()/1e9)
+		svc := tr.ServiceLatency()
+		fmt.Printf("  our completer's service latency: mean %v, p99 %v (\"our end responds immediately\")\n",
+			svc.Mean(), svc.Percentile(99))
+	}
+	if wrs := tr.OfKind(pcie.TraceWriteIn); len(wrs) > 1 {
+		gap := tr.MeanGap(pcie.TraceWriteIn)
+		var bytes int64
+		for _, e := range wrs {
+			bytes += e.Len
+		}
+		mean := bytes / int64(len(wrs))
+		fmt.Printf("  inbound posted writes: %d, mean %d B, mean gap %v → %.2f GB/s\n",
+			len(wrs), mean, gap, float64(mean)/gap.Seconds()/1e9)
+	}
+}

@@ -1,0 +1,52 @@
+// Workloadlab compares database-style access patterns across the three
+// NVMe Streamer variants using the workload generator: large sequential
+// scans, 4 KiB uniform-random point operations, Zipfian hot-key traffic,
+// and a 70/30 mixed load. It demonstrates the paper's central performance
+// contrast — streaming workloads fly, random reads collapse under in-order
+// retirement (§5.2) — on workloads richer than the microbenchmarks.
+//
+//	go run ./examples/workloadlab
+package main
+
+import (
+	"fmt"
+
+	"snacc"
+)
+
+func main() {
+	specs := []snacc.WorkloadSpec{
+		{Name: "scan", Pattern: snacc.SequentialPattern, ReadFraction: 1,
+			IOBytes: 1 << 20, SpanBytes: 1 << 30, TotalBytes: 96 << 20, Seed: 1},
+		{Name: "ingest", Pattern: snacc.SequentialPattern, ReadFraction: 0,
+			IOBytes: 1 << 20, SpanBytes: 1 << 30, TotalBytes: 96 << 20, Seed: 2},
+		{Name: "point-read", Pattern: snacc.RandomPattern, ReadFraction: 1,
+			IOBytes: 4096, SpanBytes: 1 << 30, TotalBytes: 16 << 20, Seed: 3},
+		{Name: "zipf-mixed", Pattern: snacc.ZipfianPattern, ReadFraction: 0.7,
+			IOBytes: 4096, SpanBytes: 1 << 30, TotalBytes: 16 << 20,
+			ZipfTheta: 0.99, ZipfBuckets: 128, Seed: 4},
+	}
+
+	f := false
+	fmt.Printf("%-12s", "workload")
+	variants := []snacc.Variant{snacc.URAM, snacc.OnboardDRAM, snacc.HostDRAM}
+	for _, v := range variants {
+		fmt.Printf("%16s", v)
+	}
+	fmt.Println()
+	for _, spec := range specs {
+		fmt.Printf("%-12s", spec.Name)
+		for _, v := range variants {
+			sys := snacc.MustNewSystem(snacc.Options{Variant: v, Functional: &f})
+			res, err := sys.RunWorkload(spec)
+			if err != nil {
+				fmt.Printf("%16s", "error")
+				continue
+			}
+			fmt.Printf("%11.2f GB/s", res.GBps())
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nnote: point reads sit near 1.6 GB/s on every variant — the in-order")
+	fmt.Println("retirement ceiling of §5.2; sequential traffic reaches the Figure 4a levels.")
+}

@@ -1,0 +1,3 @@
+module snacc
+
+go 1.22

@@ -1,0 +1,295 @@
+package bench
+
+import (
+	"fmt"
+
+	"snacc/internal/casestudy"
+	"snacc/internal/sim"
+)
+
+// RenderFig4a formats Figure 4a rows.
+func RenderFig4a(rows []Fig4aRow) Table {
+	t := Table{
+		Title:   "Figure 4a — sequential NVMe bandwidth (GB/s)",
+		Columns: []string{"seq-r", "seq-w", "w-low", "w-high"},
+		Notes: []string{
+			"paper: seq-r ≈6.9 all; seq-w SPDK/Host 6.24/5.90 alternating, URAM 5.6/5.32, On-board 4.6–4.8",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, TableRow{Label: r.Label, Cells: []string{
+			gb(r.SeqReadGB), gb(r.SeqWriteGB), gb(r.WriteLoGB), gb(r.WriteHiGB),
+		}})
+	}
+	return t
+}
+
+// RenderFig4b formats Figure 4b rows.
+func RenderFig4b(rows []Fig4bRow) Table {
+	t := Table{
+		Title:   "Figure 4b — random 4 KiB NVMe bandwidth (GB/s)",
+		Columns: []string{"rand-r", "rand-w"},
+		Notes: []string{
+			"paper: rand-r SNAcc ≈1.6 (in-order retirement), SPDK 4.5; rand-w Host 4.8, SPDK 5.25",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, TableRow{Label: r.Label, Cells: []string{
+			gb(r.RandReadGB), gb(r.RandWriteGB),
+		}})
+	}
+	return t
+}
+
+// RenderFig4c formats Figure 4c rows.
+func RenderFig4c(rows []Fig4cRow) Table {
+	t := Table{
+		Title:   "Figure 4c — 4 KiB access latency",
+		Columns: []string{"read", "read-p99", "write", "write-p99"},
+		Notes: []string{
+			"paper: read URAM 34us, On-board 41us, Host 43us, SPDK 57us; write all < 9us",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, TableRow{Label: r.Label, Cells: []string{
+			r.ReadLatency.String(), r.ReadP99.String(),
+			r.WriteLatency.String(), r.WriteP99.String(),
+		}})
+	}
+	return t
+}
+
+// RenderTable1 formats the resource table.
+func RenderTable1(rows []Table1Row) Table {
+	t := Table{
+		Title:   "Table 1 — NVMe Streamer FPGA resource utilization (Alveo U280)",
+		Columns: []string{"LUT", "LUT%", "FF", "FF%", "BRAM", "BRAM%", "URAM", "DRAM"},
+	}
+	for _, r := range rows {
+		uram := "-"
+		if r.Resources.URAMBlocks > 0 {
+			uram = fmt.Sprintf("%d MiB (%.1f%%)",
+				int64(r.Resources.URAMBlocks)*32*sim.KiB/sim.MiB, r.Util.URAM*100)
+		}
+		dram := "-"
+		if r.Resources.DRAMBytes > 0 {
+			dram = fmt.Sprintf("%d MiB", r.Resources.DRAMBytes/sim.MiB)
+		}
+		if r.Resources.HostDRAMBytes > 0 {
+			dram = fmt.Sprintf("%d MiB*", r.Resources.HostDRAMBytes/sim.MiB)
+		}
+		t.Rows = append(t.Rows, TableRow{Label: r.Label, Cells: []string{
+			fmt.Sprintf("%d", r.Resources.LUT),
+			fmt.Sprintf("%.1f%%", r.Util.LUT*100),
+			fmt.Sprintf("%d", r.Resources.FF),
+			fmt.Sprintf("%.1f%%", r.Util.FF*100),
+			fmt.Sprintf("%.1f", r.Resources.BRAM),
+			fmt.Sprintf("%.1f%%", r.Util.BRAM*100),
+			uram, dram,
+		}})
+	}
+	t.Notes = append(t.Notes, "*pinned host memory")
+	return t
+}
+
+// RenderFig6 formats case-study bandwidth.
+func RenderFig6(rows []casestudy.Result) Table {
+	t := Table{
+		Title:   "Figure 6 — case-study bandwidth",
+		Columns: []string{"GB/s", "frames/s", "img-latency", "CPU"},
+		Notes: []string{
+			"paper: Host DRAM & SPDK ≈6.1 GB/s (676 fps), GPU 5.76, URAM/On-board at their seq-write levels",
+		},
+	}
+	for _, r := range rows {
+		cpu := "idle after setup"
+		if r.BusyPolling {
+			cpu = "1 core @ 100% (polling)"
+		}
+		lat := "-"
+		if r.ImageLatency != nil && r.ImageLatency.Count() > 0 {
+			lat = r.ImageLatency.Mean().String()
+		}
+		t.Rows = append(t.Rows, TableRow{Label: r.Variant, Cells: []string{
+			gb(r.GBps()), fmt.Sprintf("%.0f", r.FPS()), lat, cpu,
+		}})
+	}
+	return t
+}
+
+// RenderFig7 formats case-study PCIe traffic.
+func RenderFig7(rows []casestudy.Result) Table {
+	t := Table{
+		Title:   "Figure 7 — PCIe data transfers per configuration",
+		Columns: []string{"total GB", "x payload", "card", "host", "ssd", "gpu"},
+		Notes: []string{
+			"paper: URAM and On-board DRAM fewest transfers; GPU the most",
+		},
+	}
+	for _, r := range rows {
+		payload := float64(r.Bytes)
+		cell := func(k string) string {
+			if v, ok := r.PCIe[k]; ok && v > 0 {
+				return fmt.Sprintf("%.2f", float64(v)/1e9)
+			}
+			return "-"
+		}
+		t.Rows = append(t.Rows, TableRow{Label: r.Variant, Cells: []string{
+			fmt.Sprintf("%.2f", float64(r.PCIeTotal)/1e9),
+			fmt.Sprintf("%.2fx", float64(r.PCIeTotal)/payload),
+			cell("card"), cell("host"), cell("ssd"), cell("gpu"),
+		}})
+	}
+	return t
+}
+
+// RenderAblationQD formats the queue-depth sweep.
+func RenderAblationQD(rows []AblationQDRow) Table {
+	t := Table{
+		Title:   "Ablation A1 — random-read bandwidth vs queue depth (GB/s)",
+		Columns: []string{"SPDK", "SNAcc URAM"},
+		Notes:   []string{"§5.2: SPDK scales with queue size; in-order SNAcc stays flat"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, TableRow{Label: fmt.Sprintf("QD %d", r.QueueDepth), Cells: []string{
+			gb(r.SPDKGB), gb(r.SNAccGB),
+		}})
+	}
+	return t
+}
+
+// RenderAblationOOO formats the retirement-policy comparison.
+func RenderAblationOOO(rows []AblationOOORow) Table {
+	t := Table{
+		Title:   "Ablation A2 — in-order vs out-of-order retirement (GB/s)",
+		Columns: []string{"rand-r", "seq-r"},
+		Notes:   []string{"§7: out-of-order retirement recovers random-read bandwidth"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, TableRow{Label: r.Label, Cells: []string{gb(r.RandReadGB), gb(r.SeqReadGB)}})
+	}
+	return t
+}
+
+// RenderAblationMultiSSD formats the multi-SSD scaling rows.
+func RenderAblationMultiSSD(rows []AblationMultiSSDRow) Table {
+	t := Table{
+		Title:   "Ablation A3 — multi-SSD sequential write scaling",
+		Columns: []string{"aggregate GB/s", "per-SSD GB/s"},
+		Notes:   []string{"§7: separate queues per SSD hide single-SSD latency and fill PCIe"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, TableRow{Label: fmt.Sprintf("%d SSD", r.SSDs), Cells: []string{
+			gb(r.SeqWriteGB), gb(r.PerSSDWrite),
+		}})
+	}
+	return t
+}
+
+// RenderAblationGen5 formats the PCIe 5.0 projection.
+func RenderAblationGen5(rows []AblationGen5Row) Table {
+	t := Table{
+		Title:   "Ablation A4 — PCIe 5.0 SSD projection (URAM variant, GB/s)",
+		Columns: []string{"seq-r", "seq-w"},
+		Notes:   []string{"§7: the implementation accommodates Gen5 SSDs without modification"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, TableRow{Label: r.Label, Cells: []string{gb(r.SeqReadGB), gb(r.SeqWriteGB)}})
+	}
+	return t
+}
+
+// RenderAblationDRAM formats the DRAM-controller comparison.
+func RenderAblationDRAM(rows []AblationDRAMRow) Table {
+	t := Table{
+		Title:   "Ablation A5 — on-board DRAM controller contention (seq write, GB/s)",
+		Columns: []string{"seq-w"},
+		Notes:   []string{"§5.2: read/write turnaround between NVMe fetches and buffer fills costs bandwidth"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, TableRow{Label: r.Label, Cells: []string{gb(r.SeqWriteGB)}})
+	}
+	return t
+}
+
+// RenderAblationHBM formats the staging-memory comparison.
+func RenderAblationHBM(rows []AblationHBMRow) Table {
+	t := Table{
+		Title:   "Ablation A6 — HBM staging for the on-card variant (GB/s)",
+		Columns: []string{"seq-w", "seq-r"},
+		Notes:   []string{"§7: HBM channel parallelism removes the DDR4 turnaround interplay"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, TableRow{Label: r.Label, Cells: []string{gb(r.SeqWriteGB), gb(r.SeqReadGB)}})
+	}
+	return t
+}
+
+// RenderSweep formats the transfer-size sweep.
+func RenderSweep(v string, rows []SweepRow) Table {
+	t := Table{
+		Title:   "Transfer-size convergence — " + v,
+		Columns: []string{"seq-w", "seq-r"},
+		Notes:   []string{"steady state: values stop moving well before the paper's 1 GB transfers"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, TableRow{
+			Label: fmt.Sprintf("%d MiB", r.TransferBytes/sim.MiB),
+			Cells: []string{gb(r.SeqWriteGB), gb(r.SeqReadGB)},
+		})
+	}
+	return t
+}
+
+// RenderFig6Striped formats the multi-SSD case-study extension.
+func RenderFig6Striped(rows []casestudy.Result) Table {
+	t := Table{
+		Title:   "Ablation A7 — case study with striped multi-SSD storage (§7)",
+		Columns: []string{"GB/s", "frames/s", "pauses"},
+		Notes: []string{
+			"§7 resolves §6.2's gap: with ≥3 SSDs the 100G link (≈12.2 GB/s payload) becomes the bottleneck",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, TableRow{Label: r.Variant, Cells: []string{
+			gb(r.GBps()), fmt.Sprintf("%.0f", r.FPS()), fmt.Sprintf("%d", r.EthernetPauses),
+		}})
+	}
+	return t
+}
+
+// RenderAblationMTU formats the Ethernet frame-size sensitivity sweep.
+func RenderAblationMTU(rows []AblationMTURow) Table {
+	t := Table{
+		Title:   "Ablation A8 — Ethernet MTU vs the network-bound striped pipeline (3 SSDs)",
+		Columns: []string{"link ceiling GB/s", "measured GB/s", "frames/s"},
+		Notes: []string{
+			"per-frame overhead is fixed, so the payload ceiling — and the network-bound pipeline — tracks MTU/(MTU+38)",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, TableRow{
+			Label: fmt.Sprintf("MTU %d", r.MTU),
+			Cells: []string{gb(r.CeilingGB), gb(r.CaseGB), fmt.Sprintf("%.0f", r.FPS)},
+		})
+	}
+	return t
+}
+
+// RenderAblationQP formats the queue-pair scaling sweep.
+func RenderAblationQP(rows []AblationQPRow) Table {
+	t := Table{
+		Title:   "Ablation A9 — multiple Streamers sharing one SSD (one queue pair each, §7)",
+		Columns: []string{"seq-w GB/s", "rand-r GB/s"},
+		Notes: []string{
+			"seq writes stay at the single-SSD NAND ceiling; rand reads scale because the in-order FSM is per-queue, not per-device",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, TableRow{
+			Label: fmt.Sprintf("%d streamer(s)", r.Streamers),
+			Cells: []string{gb(r.SeqWriteGB), gb(r.RandReadGB)},
+		})
+	}
+	return t
+}

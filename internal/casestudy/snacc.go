@@ -1,0 +1,134 @@
+package casestudy
+
+import (
+	"snacc/internal/nvme"
+	"snacc/internal/pcie"
+	"snacc/internal/sim"
+	"snacc/internal/streamer"
+	"snacc/internal/tapasco"
+)
+
+const caseSSDBAR = 0x10_0000_0000
+
+// RunSNAcc executes the case study with one of the three SNAcc Streamer
+// variants: the database controller PE forwards the original image stream
+// plus the classification record directly into the NVMe Streamer — after
+// initialization "the entire application operates autonomously on the FPGA
+// without any host interaction" (§6).
+func RunSNAcc(v streamer.Variant, cfg Config) Result {
+	res, _ := runSNAcc(v, cfg)
+	return res
+}
+
+func runSNAcc(v streamer.Variant, cfg Config) (Result, *nvme.Device) {
+	return runSNAccInner(v, cfg, nil)
+}
+
+func runSNAccInner(v streamer.Variant, cfg Config, devHook func(*nvme.Device)) (Result, *nvme.Device) {
+	k := sim.NewKernel()
+	pl := tapasco.NewPlatform(k, tapasco.DefaultU280())
+	devCfg := nvme.DefaultConfig("ssd0", caseSSDBAR)
+	devCfg.Functional = cfg.Functional
+	dev := nvme.New(k, pl.Fabric, devCfg)
+	if devHook != nil {
+		devHook(dev)
+	}
+	stCfg := streamer.DefaultConfig("snacc0", 0, v)
+	stCfg.Functional = cfg.Functional
+	st := pl.AddStreamer(stCfg)
+	drv := tapasco.NewDriver(pl, "ssd0", caseSSDBAR)
+
+	fe := newFrontEnd(k, cfg)
+	perImage := cfg.imageWriteBytes()
+	var start, end sim.Time
+	lat := &sim.Histogram{}
+
+	k.Spawn("main", func(p *sim.Proc) {
+		if err := drv.InitController(p); err != nil {
+			panic(err)
+		}
+		if err := drv.AttachStreamer(p, st, 1); err != nil {
+			panic(err)
+		}
+		c := streamer.NewClient(st)
+		start = p.Now()
+
+		// Response-token consumer so writes pipeline. Tokens arrive in
+		// image order (in-order retirement), so the i-th token pairs with
+		// the i-th transmit timestamp for end-to-end latency.
+		doneC := sim.NewChan[struct{}](k, 1)
+		k.Spawn("dbtokens", func(tp *sim.Proc) {
+			for i := 0; i < cfg.Images; i++ {
+				c.WaitWrite(tp)
+				if i < len(fe.sentAt) {
+					lat.Add(tp.Now() - fe.sentAt[i])
+				}
+			}
+			end = tp.Now()
+			doneC.TryPut(struct{}{})
+		})
+
+		// Database controller PE: one write per image at a sequential
+		// cursor — original frame (padded) followed by the record block.
+		var cursor uint64
+		for i := 0; i < cfg.Images; i++ {
+			it := fe.out.Get(p)
+			var payload []byte
+			if cfg.Functional {
+				payload = make([]byte, perImage)
+				copy(payload, it.data)
+				copy(payload[perImage-cfg.RecordBytes:], it.record)
+			}
+			c.WriteAsync(p, cursor, perImage, payload)
+			cursor += uint64(perImage)
+		}
+		doneC.Get(p)
+	})
+	k.Run(0)
+
+	res := Result{
+		Variant:        variantName(v),
+		Images:         cfg.Images,
+		Bytes:          perImage * int64(cfg.Images),
+		Elapsed:        end - start,
+		PCIe:           map[string]int64{},
+		ImageLatency:   lat,
+		EthernetPauses: fe.tx.PausesHonored(),
+		FramesDropped:  fe.rx.FramesDropped(),
+		Errors:         dev.Errors() + st.CommandErrors(),
+	}
+	collectPCIe(&res, map[string]*pcie.Port{
+		"card": pl.Card,
+		"ssd":  dev.Port(),
+		"host": pl.Host.Port,
+	})
+	return res, dev
+}
+
+// collectPCIe fills the Figure 7 accounting: payload bytes delivered into
+// each port; the sum counts every transfer once at its destination.
+func collectPCIe(res *Result, ports map[string]*pcie.Port) {
+	for name, pt := range ports {
+		res.PCIe[name] = pt.PayloadRx()
+		res.PCIeTotal += pt.PayloadRx()
+	}
+}
+
+// runSNAccWithFaults is a test hook: every Nth NVMe write fails with an
+// internal error, exercising error propagation through the Streamer.
+func runSNAccWithFaults(cfg Config, v streamer.Variant, everyN int64) (Result, *nvme.Device) {
+	res, dev := runSNAccInner(v, cfg, func(d *nvme.Device) {
+		n := int64(0)
+		d.SetFaultInjector(func(cmd nvme.Command) uint16 {
+			if cmd.Opcode != nvme.OpWrite {
+				return nvme.StatusSuccess
+			}
+			n++
+			if n%everyN == 0 {
+				return nvme.StatusInternalError
+			}
+			return nvme.StatusSuccess
+		})
+	})
+	return res, dev
+}

@@ -1,0 +1,271 @@
+package ethernet
+
+import (
+	"bytes"
+	"testing"
+
+	"snacc/internal/sim"
+)
+
+func pair(cfg Config) (*sim.Kernel, *MAC, *MAC) {
+	k := sim.NewKernel()
+	a := NewMAC(k, "a", cfg)
+	b := NewMAC(k, "b", cfg)
+	Connect(a, b)
+	return k, a, b
+}
+
+func TestLineRate(t *testing.T) {
+	// A fast consumer must see close to 100 Gb/s of payload.
+	k, a, b := pair(DefaultConfig())
+	const total = 128 * sim.MiB
+	const frame = 8192
+	k.Spawn("tx", func(p *sim.Proc) {
+		for sent := int64(0); sent < total; sent += frame {
+			a.Send(p, Frame{Bytes: frame})
+		}
+	})
+	var done sim.Time
+	k.Spawn("rx", func(p *sim.Proc) {
+		for got := int64(0); got < total; {
+			got += b.Recv(p).Bytes
+		}
+		done = p.Now()
+	})
+	k.Run(0)
+	bw := float64(total) / done.Seconds()
+	if bw < 11.5e9 || bw > 12.5e9 {
+		t.Fatalf("payload rate = %.2f GB/s, want ~12.2 (100G minus framing)", bw/1e9)
+	}
+}
+
+func TestContentDelivery(t *testing.T) {
+	k, a, b := pair(DefaultConfig())
+	want := []byte("snacc over ethernet")
+	var got []byte
+	k.Spawn("tx", func(p *sim.Proc) {
+		a.Send(p, Frame{Bytes: int64(len(want)), Data: want, Meta: "tag"})
+	})
+	k.Spawn("rx", func(p *sim.Proc) {
+		f := b.Recv(p)
+		got = f.Data
+		if f.Meta != "tag" {
+			t.Error("metadata lost in transit")
+		}
+	})
+	k.Run(0)
+	if !bytes.Equal(got, want) {
+		t.Fatal("frame data corrupted")
+	}
+}
+
+func TestSlowConsumerDropsWithoutFlowControl(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PauseEnabled = false
+	k, a, b := pair(cfg)
+	const frames = 2000
+	k.Spawn("tx", func(p *sim.Proc) {
+		for i := 0; i < frames; i++ {
+			a.Send(p, Frame{Bytes: 8192})
+		}
+	})
+	k.Spawn("rx", func(p *sim.Proc) {
+		p.SetDaemon(true)
+		for {
+			b.Recv(p)
+			p.Sleep(10 * sim.Microsecond) // much slower than line rate
+		}
+	})
+	k.Run(20 * sim.Millisecond)
+	if b.FramesDropped() == 0 {
+		t.Fatal("slow consumer without flow control must drop frames")
+	}
+}
+
+func TestFlowControlPreventsDrops(t *testing.T) {
+	k, a, b := pair(DefaultConfig())
+	const frames = 2000
+	received := 0
+	k.Spawn("tx", func(p *sim.Proc) {
+		for i := 0; i < frames; i++ {
+			a.Send(p, Frame{Bytes: 8192})
+		}
+	})
+	k.Spawn("rx", func(p *sim.Proc) {
+		for received < frames {
+			b.Recv(p)
+			received++
+			p.Sleep(2 * sim.Microsecond) // slower than line rate
+		}
+	})
+	k.Run(0)
+	if b.FramesDropped() != 0 {
+		t.Fatalf("flow control enabled but %d frames dropped", b.FramesDropped())
+	}
+	if received != frames {
+		t.Fatalf("received %d of %d frames", received, frames)
+	}
+	if b.PausesSent() == 0 {
+		t.Fatal("slow consumer never paused the sender")
+	}
+	if a.PausesHonored() == 0 {
+		t.Fatal("sender never honored a pause")
+	}
+}
+
+func TestBackpressureThrottlesSenderRate(t *testing.T) {
+	// With a consumer draining at ~3 GB/s, the sender's effective rate must
+	// match the consumer, not the 12.5 GB/s line rate.
+	k, a, b := pair(DefaultConfig())
+	const total = 8 * sim.MiB
+	const frame = 8192
+	k.Spawn("tx", func(p *sim.Proc) {
+		for sent := int64(0); sent < total; sent += frame {
+			a.Send(p, Frame{Bytes: frame})
+		}
+	})
+	var done sim.Time
+	k.Spawn("rx", func(p *sim.Proc) {
+		for got := int64(0); got < total; {
+			got += b.Recv(p).Bytes
+			p.Sleep(sim.TransferTime(frame, 3e9))
+		}
+		done = p.Now()
+	})
+	k.Run(0)
+	bw := float64(total) / done.Seconds()
+	if bw > 3.3e9 || bw < 2.5e9 {
+		t.Fatalf("throughput with 3 GB/s consumer = %.2f GB/s", bw/1e9)
+	}
+	if b.FramesDropped() != 0 {
+		t.Fatalf("%d drops under flow control", b.FramesDropped())
+	}
+}
+
+func TestStoreAndForwardLatency(t *testing.T) {
+	// §4.7: full buffering adds one frame time before transmission.
+	cfg := DefaultConfig()
+	k, a, b := pair(cfg)
+	var arrival sim.Time
+	k.Spawn("tx", func(p *sim.Proc) {
+		a.Send(p, Frame{Bytes: 8192})
+	})
+	k.Spawn("rx", func(p *sim.Proc) {
+		b.Recv(p)
+		arrival = p.Now()
+	})
+	k.Run(0)
+	frameTime := sim.TransferTime(8192, cfg.BytesPerSec())
+	// Buffer (1 frame) + serialize (1 frame + overhead) + wire latency.
+	min := 2*frameTime + cfg.WireLatency
+	if arrival < min {
+		t.Fatalf("arrival %v earlier than store-and-forward minimum %v", arrival, min)
+	}
+}
+
+func TestSwitchForwardsBetweenPorts(t *testing.T) {
+	cfg := DefaultConfig()
+	k := sim.NewKernel()
+	sw := NewSwitch(k, "sw", cfg, 3, sim.MiB)
+	macs := make([]*MAC, 3)
+	for i := range macs {
+		macs[i] = NewMAC(k, "m", cfg)
+		sw.Attach(i, macs[i])
+	}
+	var got Frame
+	k.Spawn("tx", func(p *sim.Proc) {
+		macs[0].Send(p, Frame{Bytes: 4096, DstPort: 2, Meta: 42})
+	})
+	k.Spawn("rx", func(p *sim.Proc) {
+		got = macs[2].Recv(p)
+	})
+	k.Run(0)
+	if got.Meta != 42 || got.Bytes != 4096 {
+		t.Fatalf("switch delivered %+v", got)
+	}
+}
+
+func TestSwitchPropagatesPause(t *testing.T) {
+	// Slow consumer behind a switch must throttle the original sender via
+	// propagated pause frames, with no drops anywhere.
+	cfg := DefaultConfig()
+	k := sim.NewKernel()
+	sw := NewSwitch(k, "sw", cfg, 2, 512*sim.KiB)
+	src := NewMAC(k, "src", cfg)
+	dst := NewMAC(k, "dst", cfg)
+	sw.Attach(0, src)
+	sw.Attach(1, dst)
+	const frames = 1000
+	received := 0
+	k.Spawn("tx", func(p *sim.Proc) {
+		for i := 0; i < frames; i++ {
+			src.Send(p, Frame{Bytes: 8192, DstPort: 1})
+		}
+	})
+	k.Spawn("rx", func(p *sim.Proc) {
+		for received < frames {
+			dst.Recv(p)
+			received++
+			p.Sleep(3 * sim.Microsecond)
+		}
+	})
+	k.Run(0)
+	if received != frames {
+		t.Fatalf("received %d of %d", received, frames)
+	}
+	if dst.FramesDropped() != 0 {
+		t.Fatalf("%d drops at destination", dst.FramesDropped())
+	}
+	if src.PausesHonored() == 0 {
+		t.Fatal("pause never propagated back to the source")
+	}
+}
+
+func TestOversizeFrameDrops(t *testing.T) {
+	// A frame that can never fit the receive FIFO is dropped and counted.
+	cfg := DefaultConfig()
+	cfg.RxFIFOBytes = 16 * sim.KiB
+	k, a, b := pair(cfg)
+	k.Spawn("tx", func(p *sim.Proc) { a.Send(p, Frame{Bytes: 32 * sim.KiB}) })
+	k.Run(0)
+	if b.FramesDropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", b.FramesDropped())
+	}
+}
+
+func TestFullDuplexLineRate(t *testing.T) {
+	// Both directions must sustain line rate simultaneously: TX and RX are
+	// independent paths.
+	k, a, b := pair(DefaultConfig())
+	const total = 32 * sim.MiB
+	var doneAB, doneBA sim.Time
+	k.Spawn("a2b", func(p *sim.Proc) {
+		for sent := int64(0); sent < total; sent += 8192 {
+			a.Send(p, Frame{Bytes: 8192})
+		}
+	})
+	k.Spawn("b2a", func(p *sim.Proc) {
+		for sent := int64(0); sent < total; sent += 8192 {
+			b.Send(p, Frame{Bytes: 8192})
+		}
+	})
+	k.Spawn("rxb", func(p *sim.Proc) {
+		for got := int64(0); got < total; {
+			got += b.Recv(p).Bytes
+		}
+		doneAB = p.Now()
+	})
+	k.Spawn("rxa", func(p *sim.Proc) {
+		for got := int64(0); got < total; {
+			got += a.Recv(p).Bytes
+		}
+		doneBA = p.Now()
+	})
+	k.Run(0)
+	for dir, done := range map[string]sim.Time{"a→b": doneAB, "b→a": doneBA} {
+		bw := float64(total) / done.Seconds()
+		if bw < 11.5e9 {
+			t.Errorf("%s under full-duplex load = %.2f GB/s; directions must not share the wire", dir, bw/1e9)
+		}
+	}
+}

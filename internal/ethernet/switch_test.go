@@ -1,0 +1,207 @@
+package ethernet
+
+import (
+	"testing"
+
+	"snacc/internal/sim"
+)
+
+// star builds a switch with n MACs attached to ports 0..n-1.
+func star(cfg Config, n int, bufferBytes int64) (*sim.Kernel, *Switch, []*MAC) {
+	k := sim.NewKernel()
+	sw := NewSwitch(k, "sw", cfg, n, bufferBytes)
+	macs := make([]*MAC, n)
+	for i := range macs {
+		macs[i] = NewMAC(k, "m", cfg)
+		sw.Attach(i, macs[i])
+	}
+	return k, sw, macs
+}
+
+func TestSwitchParallelFlowsDoNotInterfere(t *testing.T) {
+	// Two disjoint flows (0→2, 1→3) must each sustain full payload rate:
+	// per-egress queues give the switch a non-blocking fabric.
+	k, _, m := star(DefaultConfig(), 4, 4*sim.MiB)
+	const total = 32 * sim.MiB
+	finish := make([]sim.Time, 4)
+	for _, flow := range []struct{ src, dst int }{{0, 2}, {1, 3}} {
+		flow := flow
+		k.Spawn("tx", func(p *sim.Proc) {
+			for sent := int64(0); sent < total; sent += 8192 {
+				m[flow.src].Send(p, Frame{Bytes: 8192, DstPort: flow.dst})
+			}
+		})
+		k.Spawn("rx", func(p *sim.Proc) {
+			for got := int64(0); got < total; {
+				got += m[flow.dst].Recv(p).Bytes
+			}
+			finish[flow.dst] = p.Now()
+		})
+	}
+	k.Run(0)
+	for _, dst := range []int{2, 3} {
+		bw := float64(total) / finish[dst].Seconds()
+		if bw < 11.5e9 {
+			t.Errorf("flow to port %d ran at %.2f GB/s; disjoint flows must not share a bottleneck", dst, bw/1e9)
+		}
+	}
+}
+
+func TestSwitchConvergingFlowsShareEgress(t *testing.T) {
+	// Ports 0 and 1 both target port 2: the egress link is the bottleneck,
+	// so the combined goodput is one line rate and flow control keeps every
+	// frame alive.
+	k, _, m := star(DefaultConfig(), 3, sim.MiB)
+	const perFlow = 16 * sim.MiB
+	var done sim.Time
+	for src := 0; src < 2; src++ {
+		src := src
+		k.Spawn("tx", func(p *sim.Proc) {
+			for sent := int64(0); sent < perFlow; sent += 8192 {
+				m[src].Send(p, Frame{Bytes: 8192, DstPort: 2})
+			}
+		})
+	}
+	k.Spawn("rx", func(p *sim.Proc) {
+		for got := int64(0); got < 2*perFlow; {
+			got += m[2].Recv(p).Bytes
+		}
+		done = p.Now()
+	})
+	k.Run(0)
+	if m[2].FramesDropped() != 0 {
+		t.Fatalf("%d frames dropped despite flow control", m[2].FramesDropped())
+	}
+	bw := float64(2*perFlow) / done.Seconds()
+	if bw > 12.5e9 {
+		t.Fatalf("combined goodput %.2f GB/s exceeds one egress line", bw/1e9)
+	}
+	if bw < 10e9 {
+		t.Fatalf("combined goodput %.2f GB/s far below the egress line", bw/1e9)
+	}
+	// Backpressure must have reached at least one upstream transmitter.
+	if m[0].PausesHonored()+m[1].PausesHonored() == 0 {
+		t.Fatal("no upstream transmitter was ever paused")
+	}
+}
+
+func TestSwitchPropagatesPauseFromStalledReceiver(t *testing.T) {
+	// §4.7: "intermediary switches ... will first pause locally before
+	// propagating the pause request further". A receiver that never drains
+	// must stall the *sender* through the switch without drops.
+	k, _, m := star(DefaultConfig(), 2, sim.MiB)
+	sent := int64(0)
+	k.Spawn("tx", func(p *sim.Proc) {
+		p.SetDaemon(true)
+		for {
+			m[0].Send(p, Frame{Bytes: 8192, DstPort: 1})
+			sent += 8192
+		}
+	})
+	// No receiver process: m[1]'s FIFO fills, pauses the switch egress,
+	// the switch buffer fills, and the pause propagates to m[0].
+	k.Run(50 * sim.Millisecond)
+	if m[1].FramesDropped() != 0 {
+		t.Fatalf("%d frames dropped at the stalled receiver", m[1].FramesDropped())
+	}
+	// Bounded in-flight data: receiver FIFO + switch buffer + tx queue.
+	// Without propagation the sender would free-run at 12.5 GB/s for 50 ms
+	// (625 MB); with it only the buffering chain fills.
+	if sent > 32*sim.MiB {
+		t.Fatalf("sender pushed %d MiB into a stalled path; pause did not propagate", sent/sim.MiB)
+	}
+	if m[0].PausesHonored() == 0 {
+		t.Fatal("sender never honored a propagated pause")
+	}
+}
+
+func TestSwitchDropsWithoutFlowControl(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PauseEnabled = false
+	k, sw, m := star(cfg, 2, 256*sim.KiB)
+	k.Spawn("tx", func(p *sim.Proc) {
+		for i := 0; i < 4000; i++ {
+			m[0].Send(p, Frame{Bytes: 8192, DstPort: 1})
+		}
+	})
+	got := int64(0)
+	k.Spawn("rx", func(p *sim.Proc) {
+		p.SetDaemon(true)
+		for {
+			got += m[1].Recv(p).Bytes
+			p.Sleep(10 * sim.Microsecond)
+		}
+	})
+	k.Run(40 * sim.Millisecond)
+	if got >= 4000*8192 {
+		t.Fatal("everything delivered; congestion never happened")
+	}
+	// Loss shows up either at the switch egress buffer or the receiver FIFO.
+	if sw.FramesDropped()+m[1].FramesDropped() == 0 {
+		t.Fatal("no loss anywhere despite disabled flow control")
+	}
+}
+
+func TestSwitchInvalidPortPanics(t *testing.T) {
+	k, _, m := star(DefaultConfig(), 2, sim.MiB)
+	defer func() {
+		if recover() == nil {
+			t.Error("frame to nonexistent port accepted")
+		}
+	}()
+	k.Spawn("tx", func(p *sim.Proc) {
+		m[0].Send(p, Frame{Bytes: 512, DstPort: 9})
+	})
+	k.Run(0)
+}
+
+func TestSwitchPreservesPerFlowOrder(t *testing.T) {
+	k, _, m := star(DefaultConfig(), 2, sim.MiB)
+	const frames = 200
+	k.Spawn("tx", func(p *sim.Proc) {
+		for i := 0; i < frames; i++ {
+			m[0].Send(p, Frame{Bytes: 4096, DstPort: 1, Meta: i})
+		}
+	})
+	var order []int
+	k.Spawn("rx", func(p *sim.Proc) {
+		for len(order) < frames {
+			order = append(order, m[1].Recv(p).Meta.(int))
+		}
+	})
+	k.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("frame %d arrived in position %d; switch reordered a flow", v, i)
+		}
+	}
+}
+
+func TestSwitchAddsStoreAndForwardLatency(t *testing.T) {
+	// One hop through the switch doubles the store-and-forward stages: the
+	// first-frame delivery time grows versus a direct link, while line rate
+	// is unaffected (checked by TestSwitchParallelFlowsDoNotInterfere).
+	cfg := DefaultConfig()
+	direct := func() sim.Time {
+		k, a, b := pair(cfg)
+		var at sim.Time
+		k.Spawn("tx", func(p *sim.Proc) { a.Send(p, Frame{Bytes: 8192}) })
+		k.Spawn("rx", func(p *sim.Proc) { b.Recv(p); at = p.Now() })
+		k.Run(0)
+		return at
+	}()
+	switched := func() sim.Time {
+		k, _, m := star(cfg, 2, sim.MiB)
+		var at sim.Time
+		k.Spawn("tx", func(p *sim.Proc) { m[0].Send(p, Frame{Bytes: 8192, DstPort: 1}) })
+		k.Spawn("rx", func(p *sim.Proc) { m[1].Recv(p); at = p.Now() })
+		k.Run(0)
+		return at
+	}()
+	if switched <= direct {
+		t.Fatalf("switched path (%v) not slower than direct (%v)", switched, direct)
+	}
+	if switched > 3*direct {
+		t.Fatalf("switched path (%v) absurdly slower than direct (%v)", switched, direct)
+	}
+}

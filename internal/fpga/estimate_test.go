@@ -1,0 +1,107 @@
+package fpga
+
+import (
+	"math"
+	"testing"
+
+	"snacc/internal/sim"
+	"snacc/internal/streamer"
+)
+
+// TestTable1Exact pins the estimator to the paper's Table 1 synthesis
+// numbers at the default configuration (queue depth 64).
+func TestTable1Exact(t *testing.T) {
+	cases := []struct {
+		v    streamer.Variant
+		lut  int
+		ff   int
+		bram float64
+		uram int64 // buffer bytes
+		dram int64
+		host int64
+	}{
+		{streamer.URAM, 7260, 8388, 0, 4 * sim.MiB, 0, 0},
+		{streamer.OnboardDRAM, 14063, 16487, 24, 0, 128 * sim.MiB, 0},
+		{streamer.HostDRAM, 12228, 13373, 17.5, 0, 0, 128 * sim.MiB},
+	}
+	for _, c := range cases {
+		cfg := streamer.DefaultConfig("t", 0, c.v)
+		r := EstimateStreamer(cfg)
+		if r.LUT != c.lut {
+			t.Errorf("%s LUT = %d, Table 1: %d", c.v, r.LUT, c.lut)
+		}
+		if r.FF != c.ff {
+			t.Errorf("%s FF = %d, Table 1: %d", c.v, r.FF, c.ff)
+		}
+		if math.Abs(r.BRAM-c.bram) > 1e-9 {
+			t.Errorf("%s BRAM = %.1f, Table 1: %.1f", c.v, r.BRAM, c.bram)
+		}
+		if got := int64(r.URAMBlocks) * URAMBlockBytes; got != c.uram {
+			t.Errorf("%s URAM bytes = %d, Table 1: %d", c.v, got, c.uram)
+		}
+		if r.DRAMBytes != c.dram {
+			t.Errorf("%s DRAM = %d, Table 1: %d", c.v, r.DRAMBytes, c.dram)
+		}
+		if r.HostDRAMBytes != c.host {
+			t.Errorf("%s host DRAM = %d, Table 1: %d", c.v, r.HostDRAMBytes, c.host)
+		}
+	}
+}
+
+// TestTable1Percentages checks the percentage columns against the paper
+// (LUT 0.6/1.1/0.9 %, FF 0.3/0.6/0.5 %, BRAM –/1.2/0.9 %, URAM 13.3 %).
+func TestTable1Percentages(t *testing.T) {
+	dev := AlveoU280()
+	type pct struct{ lut, ff, bram, uram float64 }
+	want := map[streamer.Variant]pct{
+		streamer.URAM:        {0.6, 0.3, 0, 13.3},
+		streamer.OnboardDRAM: {1.1, 0.6, 1.2, 0},
+		streamer.HostDRAM:    {0.9, 0.5, 0.9, 0},
+	}
+	for v, w := range want {
+		u := EstimateStreamer(streamer.DefaultConfig("t", 0, v)).Utilization(dev)
+		check := func(name string, got, wantPct float64) {
+			if math.Abs(got*100-wantPct) > 0.07 {
+				t.Errorf("%s %s = %.2f%%, Table 1: %.1f%%", v, name, got*100, wantPct)
+			}
+		}
+		check("LUT", u.LUT, w.lut)
+		check("FF", u.FF, w.ff)
+		check("BRAM", u.BRAM, w.bram)
+		check("URAM", u.URAM, w.uram)
+	}
+}
+
+// TestEstimateScalesWithQueueDepth: doubling the queue depth must grow the
+// FIFO/ROB/register-file contributions, never shrink anything.
+func TestEstimateScalesWithQueueDepth(t *testing.T) {
+	for _, v := range []streamer.Variant{streamer.URAM, streamer.OnboardDRAM, streamer.HostDRAM} {
+		base := streamer.DefaultConfig("t", 0, v)
+		big := base
+		big.QueueDepth = 128
+		r1, r2 := EstimateStreamer(base), EstimateStreamer(big)
+		if !(r2.LUT > r1.LUT && r2.FF > r1.FF) {
+			t.Errorf("%s: depth 128 estimate (%v) not larger than depth 64 (%v)", v, r2, r1)
+		}
+	}
+}
+
+func TestURAMBlocksRoundUp(t *testing.T) {
+	cfg := streamer.DefaultConfig("t", 0, streamer.URAM)
+	r := EstimateStreamer(cfg)
+	if r.URAMBlocks != 128 {
+		t.Errorf("4 MiB buffer = %d URAM blocks, want 128", r.URAMBlocks)
+	}
+}
+
+func TestResourcesAddAndString(t *testing.T) {
+	var r Resources
+	r.Add(Resources{LUT: 10, FF: 20, BRAM: 1.5, URAMBlocks: 2, DRAMBytes: sim.MiB})
+	r.Add(Resources{LUT: 5, FF: 5, BRAM: 0.5, HostDRAMBytes: 2 * sim.MiB})
+	if r.LUT != 15 || r.FF != 25 || r.BRAM != 2 || r.URAMBlocks != 2 {
+		t.Errorf("Add accumulated wrong: %+v", r)
+	}
+	if r.String() == "" {
+		t.Error("String empty")
+	}
+}

@@ -1,0 +1,77 @@
+package memmodel
+
+import "fmt"
+
+// ChunkedBuffer maps a logically contiguous buffer onto physically
+// contiguous chunks at arbitrary bus addresses. The SNAcc host-DRAM variant
+// needs it because "the kernel driver is limited to allocating contiguous
+// buffers of 4 MB, which introduces some overhead in address calculations,
+// because we must combine multiple buffers to reach the same 64 MB as with
+// on-board DRAM" (§4.3).
+type ChunkedBuffer struct {
+	chunkSize int64
+	chunks    []uint64 // physical base address of each chunk
+}
+
+// NewChunkedBuffer builds a logical buffer from physical chunk bases. All
+// chunks have chunkSize bytes.
+func NewChunkedBuffer(chunkSize int64, chunkBases []uint64) *ChunkedBuffer {
+	if chunkSize <= 0 {
+		panic("memmodel: chunk size must be positive")
+	}
+	if len(chunkBases) == 0 {
+		panic("memmodel: chunked buffer needs at least one chunk")
+	}
+	return &ChunkedBuffer{chunkSize: chunkSize, chunks: append([]uint64(nil), chunkBases...)}
+}
+
+// Size returns the logical buffer size.
+func (b *ChunkedBuffer) Size() int64 { return b.chunkSize * int64(len(b.chunks)) }
+
+// ChunkSize returns the physical contiguity granule.
+func (b *ChunkedBuffer) ChunkSize() int64 { return b.chunkSize }
+
+// Chunks returns the number of chunks.
+func (b *ChunkedBuffer) Chunks() int { return len(b.chunks) }
+
+// Translate maps a logical offset to its physical bus address and the
+// number of bytes physically contiguous from there.
+func (b *ChunkedBuffer) Translate(offset int64) (phys uint64, contig int64) {
+	if offset < 0 || offset >= b.Size() {
+		panic(fmt.Sprintf("memmodel: chunked-buffer offset %d outside [0,%d)", offset, b.Size()))
+	}
+	idx := offset / b.chunkSize
+	within := offset % b.chunkSize
+	return b.chunks[idx] + uint64(within), b.chunkSize - within
+}
+
+// Runs splits the logical range [offset, offset+n) into physically
+// contiguous (phys, len) runs, in order.
+func (b *ChunkedBuffer) Runs(offset, n int64) []Run {
+	if n < 0 || offset < 0 || offset+n > b.Size() {
+		panic(fmt.Sprintf("memmodel: chunked-buffer range [%d,+%d) outside [0,%d)", offset, n, b.Size()))
+	}
+	var runs []Run
+	for n > 0 {
+		phys, contig := b.Translate(offset)
+		if contig > n {
+			contig = n
+		}
+		// Merge with the previous run when physically adjacent (chunks that
+		// happen to be allocated back to back).
+		if len(runs) > 0 && runs[len(runs)-1].Phys+uint64(runs[len(runs)-1].Len) == phys {
+			runs[len(runs)-1].Len += contig
+		} else {
+			runs = append(runs, Run{Phys: phys, Len: contig})
+		}
+		offset += contig
+		n -= contig
+	}
+	return runs
+}
+
+// Run is one physically contiguous extent.
+type Run struct {
+	Phys uint64
+	Len  int64
+}

@@ -1,0 +1,51 @@
+// Package memmodel provides timing models for the memories an NVMe Streamer
+// can stage payload data in: on-die URAM, on-board DRAM behind a single
+// memory controller, and pinned host DRAM reachable only in 4 MiB physically
+// contiguous chunks. It also provides the 4 KiB burst coalescer the paper's
+// on-board-DRAM variant uses to merge the NVMe controller's small PCIe reads
+// (§4.3).
+//
+// All models share the Memory interface: callback-style accesses carrying
+// optional content, with timing produced by the model. Content lives in a
+// pcie.SparseMem so functional tests can verify data end to end while bulk
+// benchmarks run timing-only.
+package memmodel
+
+import (
+	"snacc/internal/pcie"
+	"snacc/internal/sim"
+)
+
+// Memory is a byte-addressable staging memory with modeled access timing.
+// Addresses are local to the memory (zero-based).
+type Memory interface {
+	// ReadAccess fetches n bytes at addr, filling buf when non-nil, and
+	// calls done when the data is available.
+	ReadAccess(addr uint64, n int64, buf []byte, done func())
+	// WriteAccess deposits n bytes at addr (content from data when
+	// non-nil) and calls done when the memory has absorbed them.
+	WriteAccess(addr uint64, n int64, data []byte, done func())
+	// Size returns the capacity in bytes.
+	Size() int64
+	// Store exposes the content backing store.
+	Store() *pcie.SparseMem
+}
+
+// blockingMemory adds process-model helpers shared by the implementations.
+func readB(p *sim.Proc, m Memory, addr uint64, n int64, buf []byte) {
+	ch := sim.NewChan[struct{}](p.Kernel(), 1)
+	m.ReadAccess(addr, n, buf, func() { ch.TryPut(struct{}{}) })
+	ch.Get(p)
+}
+
+func writeB(p *sim.Proc, m Memory, addr uint64, n int64, data []byte) {
+	ch := sim.NewChan[struct{}](p.Kernel(), 1)
+	m.WriteAccess(addr, n, data, func() { ch.TryPut(struct{}{}) })
+	ch.Get(p)
+}
+
+// ReadB performs a blocking read on any Memory.
+func ReadB(p *sim.Proc, m Memory, addr uint64, n int64, buf []byte) { readB(p, m, addr, n, buf) }
+
+// WriteB performs a blocking write on any Memory.
+func WriteB(p *sim.Proc, m Memory, addr uint64, n int64, data []byte) { writeB(p, m, addr, n, data) }

@@ -1,0 +1,99 @@
+package nvme
+
+import "testing"
+
+func TestAdminDuplicateCQRejected(t *testing.T) {
+	tb := newTestbench(t, nil)
+	tb.enable()
+	tb.createIOQueues() // creates pair 1
+	c := tb.admin(Command{Opcode: OpCreateIOCQ, CID: 9, PRP1: tb.ioCQ,
+		CDW10: 1 | uint32(tbDepth-1)<<16, CDW11: 1})
+	if c.Status != StatusInvalidField {
+		t.Fatalf("duplicate CQ create status %#x", c.Status)
+	}
+}
+
+func TestAdminQIDBeyondMaxRejected(t *testing.T) {
+	tb := newTestbench(t, func(c *Config) { c.MaxIOQueuePairs = 2 })
+	tb.enable()
+	c := tb.admin(Command{Opcode: OpCreateIOCQ, CID: 9, PRP1: tb.ioCQ,
+		CDW10: 7 | uint32(tbDepth-1)<<16, CDW11: 1})
+	if c.Status != StatusInvalidField {
+		t.Fatalf("over-max QID status %#x", c.Status)
+	}
+}
+
+func TestAdminDeleteAdminQueueRejected(t *testing.T) {
+	tb := newTestbench(t, nil)
+	tb.enable()
+	c := tb.admin(Command{Opcode: OpDeleteIOSQ, CID: 9, CDW10: 0})
+	if c.Status != StatusInvalidField {
+		t.Fatalf("delete of admin queue status %#x", c.Status)
+	}
+}
+
+func TestAdminNonContiguousQueueRejected(t *testing.T) {
+	tb := newTestbench(t, nil)
+	tb.enable()
+	// PC bit clear: the model (like most controllers) requires physically
+	// contiguous queues.
+	c := tb.admin(Command{Opcode: OpCreateIOCQ, CID: 9, PRP1: tb.ioCQ,
+		CDW10: 1 | uint32(tbDepth-1)<<16, CDW11: 0})
+	if c.Status != StatusInvalidField {
+		t.Fatalf("non-contiguous CQ status %#x", c.Status)
+	}
+}
+
+func TestAdminMismatchedSQSizeRejected(t *testing.T) {
+	tb := newTestbench(t, nil)
+	tb.enable()
+	if c := tb.admin(Command{Opcode: OpCreateIOCQ, CID: 1, PRP1: tb.ioCQ,
+		CDW10: 1 | uint32(tbDepth-1)<<16, CDW11: 1}); c.Status != StatusSuccess {
+		t.Fatalf("CQ create: %#x", c.Status)
+	}
+	// SQ depth differs from its CQ: rejected by the paired-queue model.
+	c := tb.admin(Command{Opcode: OpCreateIOSQ, CID: 2, PRP1: tb.ioSQ,
+		CDW10: 1 | uint32(tbDepth/2-1)<<16, CDW11: 1 | 1<<16})
+	if c.Status != StatusInvalidField {
+		t.Fatalf("mismatched SQ size status %#x", c.Status)
+	}
+}
+
+func TestAdminUnknownOpcode(t *testing.T) {
+	tb := newTestbench(t, nil)
+	tb.enable()
+	if c := tb.admin(Command{Opcode: 0x7E, CID: 3}); c.Status != StatusInvalidOpcode {
+		t.Fatalf("unknown admin opcode status %#x", c.Status)
+	}
+}
+
+func TestAdminSetFeaturesUnknownFID(t *testing.T) {
+	tb := newTestbench(t, nil)
+	tb.enable()
+	if c := tb.admin(Command{Opcode: OpSetFeatures, CID: 4, CDW10: 0x55}); c.Status != StatusInvalidField {
+		t.Fatalf("unknown FID status %#x", c.Status)
+	}
+}
+
+func TestAdminSetFeaturesClampsQueueCount(t *testing.T) {
+	tb := newTestbench(t, func(c *Config) { c.MaxIOQueuePairs = 3 })
+	tb.enable()
+	c := tb.admin(Command{Opcode: OpSetFeatures, CID: 5,
+		CDW10: uint32(FeatureNumQueues), CDW11: 63 | 63<<16})
+	if c.Status != StatusSuccess {
+		t.Fatalf("set features: %#x", c.Status)
+	}
+	if got := int(c.DW0&0xFFFF) + 1; got != 3 {
+		t.Fatalf("granted SQs = %d, want clamp to 3", got)
+	}
+}
+
+func TestIdentifyBadNSID(t *testing.T) {
+	tb := newTestbench(t, nil)
+	tb.enable()
+	buf := tb.host.Alloc(PageSize, PageSize)
+	c := tb.admin(Command{Opcode: OpIdentify, CID: 6, NSID: 2, PRP1: buf, CDW10: CNSNamespace})
+	if c.Status != StatusInvalidNSID {
+		t.Fatalf("identify ns 2 status %#x", c.Status)
+	}
+}

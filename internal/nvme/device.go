@@ -1,0 +1,486 @@
+package nvme
+
+import (
+	"fmt"
+
+	"snacc/internal/pcie"
+	"snacc/internal/sim"
+)
+
+// Config parameterizes one SSD.
+type Config struct {
+	// Name identifies the device on the fabric and in the IOMMU.
+	Name string
+	// BARBase is the bus address of the register BAR.
+	BARBase uint64
+	// LBASize is the logical block size (512 for the 990 PRO default
+	// format).
+	LBASize int64
+	// NamespaceBytes is the capacity of namespace 1.
+	NamespaceBytes int64
+	// Link is the device's PCIe attachment. The default models the
+	// 990 PRO's Gen4 x4 link with a data-fetch engine that keeps 4
+	// outstanding page-sized reads in flight — the credit window whose
+	// round-trip sensitivity produces the paper's P2P write ceiling.
+	Link pcie.LinkConfig
+	// NAND is the flash backend profile.
+	NAND NANDConfig
+	// MaxIOQueuePairs bounds CreateIOSQ/CreateIOCQ.
+	MaxIOQueuePairs int
+	// FrontEndReadCost / FrontEndWriteCost serialize command processing in
+	// the controller's firmware front end; they bound small-command IOPS
+	// (SPDK's 4.5 / 5.25 GB/s random ceilings in Figure 4b).
+	FrontEndReadCost  sim.Time
+	FrontEndWriteCost sim.Time
+	// FetchBatch is the max SQEs fetched per read; MaxFetchReads bounds
+	// concurrent fetch reads in flight.
+	FetchBatch    int
+	MaxFetchReads int
+	// ExecContexts bounds concurrently executing commands inside the
+	// controller.
+	ExecContexts int
+	// SlowEpochReadPadding is added to the data-fetch path during slow
+	// banding epochs (see NANDConfig.EpochBytes).
+	SlowEpochReadPadding sim.Time
+	// ReadyDelay is the time between CC.EN and CSTS.RDY.
+	ReadyDelay sim.Time
+	// Functional enables content movement (real bytes on the media); when
+	// false the device is timing-only for data payloads. Queue entries and
+	// PRP lists always carry real bytes.
+	Functional bool
+}
+
+// DefaultConfig returns the calibrated Samsung 990 PRO 2 TB profile.
+func DefaultConfig(name string, barBase uint64) Config {
+	return Config{
+		Name:           name,
+		BARBase:        barBase,
+		LBASize:        512,
+		NamespaceBytes: 2 * 1000 * 1000 * sim.MiB, // 2 TB (decimal)
+		Link: pcie.LinkConfig{
+			Gen:                pcie.Gen4,
+			Lanes:              4,
+			MaxPayload:         512,
+			MaxReadRequest:     PageSize,
+			ReadCredits:        4,
+			PropagationLatency: 150 * sim.Nanosecond,
+		},
+		NAND:                 DefaultNANDConfig(),
+		MaxIOQueuePairs:      8,
+		FrontEndReadCost:     650 * sim.Nanosecond,
+		FrontEndWriteCost:    780 * sim.Nanosecond,
+		FetchBatch:           8,
+		MaxFetchReads:        4,
+		ExecContexts:         128,
+		SlowEpochReadPadding: 150 * sim.Nanosecond,
+		ReadyDelay:           50 * sim.Microsecond,
+	}
+}
+
+// queuePair tracks one SQ/CQ pair from the controller's perspective.
+type queuePair struct {
+	id      uint16
+	sqBase  uint64
+	cqBase  uint64
+	entries int // SQ and CQ sized identically in this model
+
+	sqTailDB  int // last doorbell value written by the host
+	issueHead int // next SQE slot to issue a fetch for
+	sqHead    int // fetch-completed position (reported in CQEs)
+	cqTail    int // controller post position
+	cqHeadDB  int // last CQ head doorbell from the host
+	cqPhase   bool
+	fetches   int // fetch reads currently in flight
+
+	// cqWait holds completions stalled on CQ space; they drain when the
+	// host advances the CQ head doorbell.
+	cqWait []func()
+
+	// debugOutstanding tracks fetched-but-not-completed CIDs to catch
+	// protocol violations (duplicate fetch / double completion).
+	debugOutstanding map[uint16]bool
+}
+
+// cqFull reports whether posting another CQE would overwrite an entry the
+// host has not acknowledged via the CQ head doorbell.
+func (q *queuePair) cqFull() bool {
+	return (q.cqTail+1)%q.entries == q.cqHeadDB
+}
+
+func (q *queuePair) pending() int {
+	d := q.sqTailDB - q.issueHead
+	if d < 0 {
+		d += q.entries
+	}
+	return d
+}
+
+// Device is one simulated NVMe SSD attached to a PCIe fabric.
+type Device struct {
+	k    *sim.Kernel
+	cfg  Config
+	port *pcie.Port
+	nand *NAND
+
+	// Registers.
+	cc   uint32
+	csts uint32
+	aqa  uint32
+	asq  uint64
+	acq  uint64
+
+	queues       map[uint16]*queuePair // includes admin as qid 0 once enabled
+	cqPendingMap map[uint16]cqPending  // CQs awaiting their paired SQ
+
+	execGate     *callbackGate
+	frontEndBusy sim.Time
+
+	// faultInjector, when set, can force a failure status for an I/O
+	// command before execution (tests and failure-injection experiments).
+	faultInjector func(Command) uint16
+
+	// Stats and SMART accounting.
+	cmdsExecuted     int64
+	errs             int64
+	errorCount       uint64
+	errorLog         []ErrorLogEntry
+	dataUnitsRead    int64
+	dataUnitsWritten int64
+	hostReads        int64
+	hostWrites       int64
+	deallocated      int64
+}
+
+// SetFaultInjector installs fn; fn returning a non-success status fails the
+// command without touching media. Pass nil to clear.
+func (d *Device) SetFaultInjector(fn func(Command) uint16) { d.faultInjector = fn }
+
+// New attaches a device to the fabric and maps its register BAR.
+func New(k *sim.Kernel, f *pcie.Fabric, cfg Config) *Device {
+	if cfg.LBASize <= 0 || PageSize%cfg.LBASize != 0 {
+		panic("nvme: LBA size must divide the page size")
+	}
+	d := &Device{
+		k:        k,
+		cfg:      cfg,
+		nand:     NewNAND(k, cfg.NAND),
+		queues:   make(map[uint16]*queuePair),
+		execGate: newCallbackGate(cfg.ExecContexts),
+	}
+	d.port = f.AttachPort(cfg.Name, cfg.Link, (*deviceBAR)(d))
+	d.port.DeclareIdentity(pcie.Identity{
+		Vendor:   0x144D, // Samsung
+		Device:   0xA80C, // 990 PRO
+		Class:    pcie.ClassNVMe,
+		BARBytes: BARSize,
+		OnAssign: func(base uint64) { d.cfg.BARBase = base },
+	})
+	if cfg.BARBase != 0 {
+		// Statically placed (tests, simple rigs); enumeration assigns the
+		// window otherwise.
+		f.MapRange(d.port, cfg.BARBase, BARSize)
+	}
+	d.nand.OnEpochChange = func(slow bool) {
+		if slow {
+			d.port.SetReadPadding(cfg.SlowEpochReadPadding)
+		} else {
+			d.port.SetReadPadding(0)
+		}
+	}
+	return d
+}
+
+// Port returns the device's fabric port (for IOMMU grants and stats).
+func (d *Device) Port() *pcie.Port { return d.port }
+
+// NAND exposes the flash backend (for stats and media content).
+func (d *Device) NAND() *NAND { return d.nand }
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// CommandsExecuted returns the number of completed commands.
+func (d *Device) CommandsExecuted() int64 { return d.cmdsExecuted }
+
+// Errors returns the number of commands completed with non-success status.
+func (d *Device) Errors() int64 { return d.errs }
+
+// deviceBAR implements pcie.Completer for the register BAR without
+// polluting Device's method set with transport callbacks.
+type deviceBAR Device
+
+// CompleteWrite decodes register and doorbell writes.
+func (b *deviceBAR) CompleteWrite(addr uint64, n int64, data []byte) {
+	d := (*Device)(b)
+	off := addr - d.cfg.BARBase
+	if off >= RegDoorbellBase {
+		d.doorbell(off, data)
+		return
+	}
+	if data == nil {
+		panic("nvme: register write requires data")
+	}
+	d.regWrite(off, data)
+}
+
+// CompleteRead serves register reads.
+func (b *deviceBAR) CompleteRead(addr uint64, n int64, buf []byte, done func()) {
+	d := (*Device)(b)
+	if buf != nil {
+		d.regRead(addr-d.cfg.BARBase, buf)
+	}
+	// Register access latency across the device's internal bus.
+	d.k.After(100*sim.Nanosecond, done)
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func le64(b []byte) uint64 {
+	return uint64(le32(b)) | uint64(le32(b[4:]))<<32
+}
+
+func put32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func put64(b []byte, v uint64) {
+	put32(b, uint32(v))
+	put32(b[4:], uint32(v>>32))
+}
+
+func (d *Device) regWrite(off uint64, data []byte) {
+	switch off {
+	case RegCC:
+		d.cc = le32(data)
+		if d.cc&CCEnable != 0 && d.csts&CSTSReady == 0 {
+			d.enable()
+		}
+		if d.cc&CCEnable == 0 {
+			d.reset()
+		}
+	case RegAQA:
+		d.aqa = le32(data)
+	case RegASQ:
+		d.asq = le64(data)
+	case RegACQ:
+		d.acq = le64(data)
+	default:
+		panic(fmt.Sprintf("nvme: write to unmodeled register %#x", off))
+	}
+}
+
+func (d *Device) regRead(off uint64, buf []byte) {
+	switch off {
+	case RegCAP:
+		// MQES (max queue entries, 0-based) in bits 15:0; DSTRD 0; TO in
+		// bits 31:24 (units of 500 ms — report 1).
+		var cap64 uint64 = 1023 | 1<<24
+		tmp := make([]byte, 8)
+		put64(tmp, cap64)
+		copy(buf, tmp)
+	case RegVS:
+		// NVMe 1.4.0: major 1, minor 4.
+		tmp := make([]byte, 4)
+		put32(tmp, 1<<16|4<<8)
+		copy(buf, tmp)
+	case RegCC:
+		tmp := make([]byte, 4)
+		put32(tmp, d.cc)
+		copy(buf, tmp)
+	case RegCSTS:
+		tmp := make([]byte, 4)
+		put32(tmp, d.csts)
+		copy(buf, tmp)
+	default:
+		panic(fmt.Sprintf("nvme: read of unmodeled register %#x", off))
+	}
+}
+
+// enable brings the controller up: materialize the admin queue pair.
+func (d *Device) enable() {
+	entries := int(d.aqa&0xFFF) + 1 // ASQS, 0-based
+	d.queues[0] = &queuePair{
+		id:      0,
+		sqBase:  d.asq,
+		cqBase:  d.acq,
+		entries: entries,
+		cqPhase: true,
+	}
+	d.k.After(d.cfg.ReadyDelay, func() { d.csts |= CSTSReady })
+}
+
+func (d *Device) reset() {
+	d.csts &^= CSTSReady
+	d.queues = make(map[uint16]*queuePair)
+}
+
+// doorbell decodes a doorbell write and kicks the affected queue.
+func (d *Device) doorbell(off uint64, data []byte) {
+	if data == nil {
+		panic("nvme: doorbell write requires data")
+	}
+	idx := (off - RegDoorbellBase) / 4
+	qid := uint16(idx / 2)
+	isCQ := idx%2 == 1
+	q, ok := d.queues[qid]
+	if !ok {
+		panic(fmt.Sprintf("nvme: doorbell for unknown queue %d", qid))
+	}
+	val := int(le32(data))
+	if val < 0 || val >= q.entries {
+		panic(fmt.Sprintf("nvme: doorbell value %d out of range for %d-entry queue", val, q.entries))
+	}
+	if isCQ {
+		q.cqHeadDB = val
+		for len(q.cqWait) > 0 && !q.cqFull() {
+			fn := q.cqWait[0]
+			q.cqWait = q.cqWait[1:]
+			fn()
+		}
+		return
+	}
+	q.sqTailDB = val
+	d.kick(q)
+}
+
+// debugTrace, when set, receives fetch trace events (tests only).
+var debugTrace func(what string, qid uint16, head, batch, tail int)
+
+// kick issues SQE fetches (batched, up to the ring-wrap boundary, several
+// in flight like a real controller's command-fetch engine) and dispatches
+// fetched commands. Fetch reads travel the same fabric path, so they
+// complete in issue order and q.sqHead — the value reported back to the
+// host in CQEs — advances in order too.
+func (d *Device) kick(q *queuePair) {
+	for q.fetches < d.cfg.MaxFetchReads {
+		pending := q.pending()
+		if pending == 0 {
+			return
+		}
+		batch := pending
+		if batch > d.cfg.FetchBatch {
+			batch = d.cfg.FetchBatch
+		}
+		if untilWrap := q.entries - q.issueHead; batch > untilWrap {
+			batch = untilWrap
+		}
+		fetchHead := q.issueHead
+		q.issueHead = (fetchHead + batch) % q.entries
+		q.fetches++
+		if debugTrace != nil {
+			debugTrace("fetch", q.id, fetchHead, batch, q.sqTailDB)
+		}
+		buf := make([]byte, batch*SQESize)
+		d.port.ReadCtrl(q.sqBase+uint64(fetchHead*SQESize), int64(len(buf)), buf, func() {
+			q.sqHead = (fetchHead + batch) % q.entries
+			q.fetches--
+			for i := 0; i < batch; i++ {
+				cmd, err := UnmarshalCommand(buf[i*SQESize:])
+				if err != nil {
+					panic(err) // 64-byte slices by construction
+				}
+				if q.debugOutstanding == nil {
+					q.debugOutstanding = make(map[uint16]bool)
+				}
+				if q.debugOutstanding[cmd.CID] {
+					panic(fmt.Sprintf("nvme: duplicate fetch of CID %d on q%d (slot %d op %#x)", cmd.CID, q.id, fetchHead+i, cmd.Opcode))
+				}
+				q.debugOutstanding[cmd.CID] = true
+				d.dispatch(q, cmd)
+			}
+			d.kick(q)
+		})
+	}
+}
+
+// dispatch routes a fetched command through the execution gate and the
+// serializing firmware front end.
+func (d *Device) dispatch(q *queuePair, cmd Command) {
+	d.execGate.acquire(func() {
+		cost := d.cfg.FrontEndWriteCost
+		if cmd.Opcode == OpRead && q.id != 0 {
+			cost = d.cfg.FrontEndReadCost
+		}
+		start := d.k.Now()
+		if d.frontEndBusy > start {
+			start = d.frontEndBusy
+		}
+		d.frontEndBusy = start + cost
+		d.k.At(d.frontEndBusy, func() {
+			if q.id == 0 {
+				d.executeAdmin(q, cmd)
+			} else {
+				d.executeIO(q, cmd)
+			}
+		})
+	})
+}
+
+// complete posts a CQE for cmd on q's completion queue and releases the
+// execution context.
+func (d *Device) complete(q *queuePair, cmd Command, status uint16, dw0 uint32) {
+	if q.cqFull() {
+		// Stall until the host frees CQ space — posting now would
+		// overwrite an unacknowledged completion.
+		q.cqWait = append(q.cqWait, func() { d.complete(q, cmd, status, dw0) })
+		return
+	}
+	if !q.debugOutstanding[cmd.CID] {
+		panic(fmt.Sprintf("nvme: double completion of CID %d on q%d", cmd.CID, q.id))
+	}
+	delete(q.debugOutstanding, cmd.CID)
+	d.cmdsExecuted++
+	if status != StatusSuccess {
+		d.errs++
+		d.recordError(q, cmd, status)
+	}
+	cqe := Completion{
+		DW0:    dw0,
+		SQHead: uint16(q.sqHead),
+		SQID:   q.id,
+		CID:    cmd.CID,
+		Phase:  q.cqPhase,
+		Status: status,
+	}
+	addr := q.cqBase + uint64(q.cqTail*CQESize)
+	q.cqTail++
+	if q.cqTail == q.entries {
+		q.cqTail = 0
+		q.cqPhase = !q.cqPhase
+	}
+	d.port.Write(addr, CQESize, cqe.Marshal(), nil)
+	d.execGate.release()
+}
+
+// callbackGate is a callback-style counting semaphore (same shape as the
+// PCIe credit gate, duplicated to keep the packages independent).
+type callbackGate struct {
+	avail int
+	q     []func()
+}
+
+func newCallbackGate(n int) *callbackGate { return &callbackGate{avail: n} }
+
+func (g *callbackGate) acquire(fn func()) {
+	if g.avail > 0 {
+		g.avail--
+		fn()
+		return
+	}
+	g.q = append(g.q, fn)
+}
+
+func (g *callbackGate) release() {
+	if len(g.q) > 0 {
+		fn := g.q[0]
+		g.q = g.q[1:]
+		fn()
+		return
+	}
+	g.avail++
+}
+
+// SetDebugTrace installs a fetch-trace hook (tests only).
+func SetDebugTrace(fn func(what string, qid uint16, head, batch, tail int)) { debugTrace = fn }

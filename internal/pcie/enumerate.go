@@ -1,0 +1,124 @@
+package pcie
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Configuration-space identity and enumeration: instead of hard-coding bus
+// addresses, a host can scan the fabric the way a real OS walks PCIe
+// config space — read vendor/device/class, size the BAR, assign an address
+// window, and program it. Drivers then locate their device by class code
+// (01 08 02 for NVMe) exactly as the kernel's probe logic does.
+
+// Identity is a device's configuration-space header subset.
+type Identity struct {
+	Vendor uint16
+	Device uint16
+	// Class is the 24-bit class code (base<<16 | sub<<8 | interface).
+	Class uint32
+	// BARBytes is the device's BAR0 size request (power of two).
+	BARBytes int64
+	// OnAssign is invoked when enumeration programs the BAR, so the
+	// device can anchor its register decode.
+	OnAssign func(base uint64)
+}
+
+// Well-known class codes.
+const (
+	// ClassNVMe is mass storage / NVM / NVMe I/O controller.
+	ClassNVMe uint32 = 0x010802
+	// ClassFPGA is the processing-accelerator class used by FPGA cards.
+	ClassFPGA uint32 = 0x120000
+)
+
+// DeclareIdentity registers the port's config-space header for
+// enumeration. Ports with an identity and no statically mapped BAR get
+// their window assigned by Fabric.Enumerate.
+func (pt *Port) DeclareIdentity(id Identity) {
+	if id.BARBytes > 0 && id.BARBytes&(id.BARBytes-1) != 0 {
+		panic("pcie: BAR size request must be a power of two")
+	}
+	pt.identity = &id
+}
+
+// Identity returns the declared identity, or nil.
+func (pt *Port) Identity() *Identity { return pt.identity }
+
+// EnumeratedDevice is one discovery result.
+type EnumeratedDevice struct {
+	Name    string
+	Vendor  uint16
+	Device  uint16
+	Class   uint32
+	BARBase uint64
+	BARSize int64
+}
+
+// Enumerate scans every attached port, assigns BAR windows starting at
+// windowBase for devices that declared a size request and are not yet
+// mapped, and returns the discovered inventory (sorted by name for
+// determinism).
+func (f *Fabric) Enumerate(windowBase uint64) []EnumeratedDevice {
+	var out []EnumeratedDevice
+	cursor := windowBase
+	ports := append([]*Port(nil), f.ports...)
+	sort.Slice(ports, func(i, j int) bool { return ports[i].name < ports[j].name })
+	for _, pt := range ports {
+		id := pt.identity
+		if id == nil {
+			continue
+		}
+		dev := EnumeratedDevice{
+			Name:   pt.name,
+			Vendor: id.Vendor,
+			Device: id.Device,
+			Class:  id.Class,
+		}
+		if id.BARBytes > 0 && !f.hasMapping(pt) {
+			base := (cursor + uint64(id.BARBytes) - 1) &^ (uint64(id.BARBytes) - 1)
+			f.MapRange(pt, base, id.BARBytes)
+			cursor = base + uint64(id.BARBytes)
+			if id.OnAssign != nil {
+				id.OnAssign(base)
+			}
+			dev.BARBase = base
+			dev.BARSize = id.BARBytes
+		} else if id.BARBytes > 0 {
+			dev.BARBase, dev.BARSize = f.mappingOf(pt)
+		}
+		out = append(out, dev)
+	}
+	return out
+}
+
+// FindByClass filters an inventory by class code.
+func FindByClass(devs []EnumeratedDevice, class uint32) []EnumeratedDevice {
+	var out []EnumeratedDevice
+	for _, d := range devs {
+		if d.Class == class {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// hasMapping reports whether any range routes to pt.
+func (f *Fabric) hasMapping(pt *Port) bool {
+	for _, r := range f.regions {
+		if r.port == pt {
+			return true
+		}
+	}
+	return false
+}
+
+// mappingOf returns pt's first mapped range.
+func (f *Fabric) mappingOf(pt *Port) (uint64, int64) {
+	for _, r := range f.regions {
+		if r.port == pt {
+			return r.base, r.size
+		}
+	}
+	panic(fmt.Sprintf("pcie: port %s has no mapping", pt.name))
+}

@@ -1,0 +1,108 @@
+package pcie
+
+import (
+	"testing"
+
+	"snacc/internal/sim"
+)
+
+func enumRig() (*sim.Kernel, *Fabric) {
+	k := sim.NewKernel()
+	f := NewFabric(k, DefaultConfig())
+	NewHost(f, DefaultHostConfig())
+	return k, f
+}
+
+func declare(f *Fabric, name string, class uint32, barBytes int64) (*Port, *uint64) {
+	pt := f.AttachPort(name, LinkConfig{Gen: Gen4, Lanes: 4}, NewMemCompleter(f.Kernel(), 10e9, 100))
+	assigned := new(uint64)
+	pt.DeclareIdentity(Identity{
+		Vendor: 0x1234, Device: 0x5678, Class: class, BARBytes: barBytes,
+		OnAssign: func(base uint64) { *assigned = base },
+	})
+	return pt, assigned
+}
+
+func TestEnumerateAssignsAlignedWindows(t *testing.T) {
+	_, f := enumRig()
+	_, a := declare(f, "devA", ClassNVMe, 16*1024)
+	_, b := declare(f, "devB", ClassNVMe, 64*1024)
+	devs := f.Enumerate(0x10_0000_0000)
+	if len(devs) != 2 {
+		t.Fatalf("enumerated %d devices, want 2", len(devs))
+	}
+	if *a == 0 || *b == 0 {
+		t.Fatal("OnAssign never fired")
+	}
+	for _, d := range devs {
+		if d.BARBase%uint64(d.BARSize) != 0 {
+			t.Errorf("%s BAR %#x not aligned to %#x", d.Name, d.BARBase, d.BARSize)
+		}
+	}
+	// Windows must not overlap.
+	if *a < *b+64*1024 && *b < *a+16*1024 {
+		t.Fatalf("BARs overlap: %#x / %#x", *a, *b)
+	}
+	// The assigned windows must actually route.
+	if f.Route(*a) == nil || f.Route(*b) == nil {
+		t.Fatal("assigned BARs do not route")
+	}
+}
+
+func TestEnumerateIsDeterministic(t *testing.T) {
+	build := func() []EnumeratedDevice {
+		_, f := enumRig()
+		declare(f, "zeta", ClassNVMe, 16*1024)
+		declare(f, "alpha", ClassFPGA, 64*1024)
+		return f.Enumerate(0x10_0000_0000)
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("enumeration order unstable: %+v vs %+v", a[i], b[i])
+		}
+	}
+	if a[0].Name != "alpha" {
+		t.Fatalf("expected name-sorted inventory, got %s first", a[0].Name)
+	}
+}
+
+func TestFindByClass(t *testing.T) {
+	_, f := enumRig()
+	declare(f, "ssd0", ClassNVMe, 16*1024)
+	declare(f, "ssd1", ClassNVMe, 16*1024)
+	declare(f, "fpga", ClassFPGA, 64*1024)
+	devs := f.Enumerate(0x10_0000_0000)
+	nvmes := FindByClass(devs, ClassNVMe)
+	if len(nvmes) != 2 {
+		t.Fatalf("found %d NVMe devices, want 2", len(nvmes))
+	}
+	fpgas := FindByClass(devs, ClassFPGA)
+	if len(fpgas) != 1 || fpgas[0].Name != "fpga" {
+		t.Fatalf("FPGA scan wrong: %+v", fpgas)
+	}
+}
+
+func TestEnumerateSkipsStaticMappings(t *testing.T) {
+	_, f := enumRig()
+	pt, assigned := declare(f, "static", ClassNVMe, 16*1024)
+	f.MapRange(pt, 0x20_0000_0000, 16*1024)
+	devs := f.Enumerate(0x10_0000_0000)
+	if *assigned != 0 {
+		t.Fatal("statically mapped device re-assigned")
+	}
+	if devs[0].BARBase != 0x20_0000_0000 {
+		t.Fatalf("inventory should report the static base, got %#x", devs[0].BARBase)
+	}
+}
+
+func TestDeclareIdentityRejectsNonPow2(t *testing.T) {
+	_, f := enumRig()
+	pt := f.AttachPort("bad", LinkConfig{Gen: Gen4, Lanes: 4}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two BAR request accepted")
+		}
+	}()
+	pt.DeclareIdentity(Identity{BARBytes: 3000})
+}

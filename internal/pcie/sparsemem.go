@@ -1,0 +1,66 @@
+package pcie
+
+// SparseMem is a byte-addressable sparse memory backing store organized in
+// 4 KiB pages. It holds the *contents* of simulated memories — host DRAM,
+// FPGA URAM/DRAM buffers, NAND media — while the timing of accesses is
+// modeled separately. Pages are allocated on first write; reads of
+// never-written pages return zeros, matching both DRAM after init and NVMe
+// deallocated-block semantics.
+//
+// Timing-only simulations pass nil data buffers through the fabric; the
+// store is then never touched, keeping large benchmarks cheap.
+type SparseMem struct {
+	pages map[uint64][]byte
+}
+
+const spPageShift = 12
+const spPageSize = 1 << spPageShift
+
+// NewSparseMem returns an empty store.
+func NewSparseMem() *SparseMem {
+	return &SparseMem{pages: make(map[uint64][]byte)}
+}
+
+// WriteBytes stores data at addr.
+func (s *SparseMem) WriteBytes(addr uint64, data []byte) {
+	for len(data) > 0 {
+		pageNo := addr >> spPageShift
+		off := int(addr & (spPageSize - 1))
+		n := spPageSize - off
+		if n > len(data) {
+			n = len(data)
+		}
+		page, ok := s.pages[pageNo]
+		if !ok {
+			page = make([]byte, spPageSize)
+			s.pages[pageNo] = page
+		}
+		copy(page[off:off+n], data[:n])
+		addr += uint64(n)
+		data = data[n:]
+	}
+}
+
+// ReadBytes fills buf with the contents at addr.
+func (s *SparseMem) ReadBytes(addr uint64, buf []byte) {
+	for len(buf) > 0 {
+		pageNo := addr >> spPageShift
+		off := int(addr & (spPageSize - 1))
+		n := spPageSize - off
+		if n > len(buf) {
+			n = len(buf)
+		}
+		if page, ok := s.pages[pageNo]; ok {
+			copy(buf[:n], page[off:off+n])
+		} else {
+			for i := 0; i < n; i++ {
+				buf[i] = 0
+			}
+		}
+		addr += uint64(n)
+		buf = buf[n:]
+	}
+}
+
+// Pages returns the number of materialized 4 KiB pages.
+func (s *SparseMem) Pages() int { return len(s.pages) }

@@ -1,0 +1,133 @@
+package sim
+
+// Chan is a simulated bounded channel carrying values of type T between
+// processes. It models a hardware FIFO: Put blocks while the FIFO is full,
+// Get blocks while it is empty, and handoffs consume zero simulated time
+// (data-path delay is modeled separately by Pipe or by the memory models).
+//
+// A capacity of zero gives rendezvous semantics: Put blocks until a Get
+// arrives and vice versa, like an unregistered AXI handshake.
+type Chan[T any] struct {
+	k        *Kernel
+	capacity int
+	buf      []T
+
+	// putq holds blocked producers together with the value each carries;
+	// getq holds blocked consumers together with the slot the value is
+	// delivered into.
+	putq []*putWaiter[T]
+	getq []*getWaiter[T]
+}
+
+type putWaiter[T any] struct {
+	p *Proc
+	v T
+}
+
+type getWaiter[T any] struct {
+	p     *Proc
+	v     T
+	valid bool
+}
+
+// NewChan creates a channel with the given capacity (>= 0).
+func NewChan[T any](k *Kernel, capacity int) *Chan[T] {
+	if capacity < 0 {
+		panic("sim: negative channel capacity")
+	}
+	return &Chan[T]{k: k, capacity: capacity}
+}
+
+// Len reports the number of buffered values.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Cap reports the channel capacity.
+func (c *Chan[T]) Cap() int { return c.capacity }
+
+// Put delivers v into the channel, blocking p while the channel is full.
+func (c *Chan[T]) Put(p *Proc, v T) {
+	// Fast path: a consumer is already waiting and nothing is buffered
+	// ahead of us, so hand the value over directly.
+	if len(c.getq) > 0 && len(c.buf) == 0 {
+		g := c.getq[0]
+		c.getq = c.getq[1:]
+		g.v, g.valid = v, true
+		g.p.Wake()
+		return
+	}
+	if len(c.buf) < c.capacity {
+		c.buf = append(c.buf, v)
+		return
+	}
+	w := &putWaiter[T]{p: p, v: v}
+	c.putq = append(c.putq, w)
+	p.Park()
+}
+
+// TryPut delivers v without blocking and reports whether it succeeded.
+func (c *Chan[T]) TryPut(v T) bool {
+	if len(c.getq) > 0 && len(c.buf) == 0 {
+		g := c.getq[0]
+		c.getq = c.getq[1:]
+		g.v, g.valid = v, true
+		g.p.Wake()
+		return true
+	}
+	if len(c.buf) < c.capacity {
+		c.buf = append(c.buf, v)
+		return true
+	}
+	return false
+}
+
+// Get removes and returns the oldest value, blocking p while the channel is
+// empty.
+func (c *Chan[T]) Get(p *Proc) T {
+	if v, ok := c.TryGet(); ok {
+		return v
+	}
+	w := &getWaiter[T]{p: p}
+	c.getq = append(c.getq, w)
+	p.Park()
+	if !w.valid {
+		panic("sim: Chan.Get woken without a value")
+	}
+	return w.v
+}
+
+// TryGet removes and returns the oldest value without blocking.
+func (c *Chan[T]) TryGet() (T, bool) {
+	if len(c.buf) > 0 {
+		v := c.buf[0]
+		c.buf = c.buf[1:]
+		// A freed slot admits the oldest blocked producer.
+		if len(c.putq) > 0 {
+			w := c.putq[0]
+			c.putq = c.putq[1:]
+			c.buf = append(c.buf, w.v)
+			w.p.Wake()
+		}
+		return v, true
+	}
+	// Rendezvous: take directly from a blocked producer.
+	if len(c.putq) > 0 {
+		w := c.putq[0]
+		c.putq = c.putq[1:]
+		w.p.Wake()
+		return w.v, true
+	}
+	var zero T
+	return zero, false
+}
+
+// Peek returns the oldest value without removing it.
+func (c *Chan[T]) Peek() (T, bool) {
+	if len(c.buf) > 0 {
+		return c.buf[0], true
+	}
+	if len(c.putq) > 0 {
+		return c.putq[0].v, true
+	}
+	var zero T
+	return zero, false
+}

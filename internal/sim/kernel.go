@@ -1,0 +1,157 @@
+// Package sim implements the deterministic discrete-event simulation kernel
+// that underpins every hardware model in this repository: the PCIe fabric,
+// the NVMe device, the FPGA memory systems, the Ethernet MAC and the NVMe
+// Streamer itself.
+//
+// The kernel is cooperative and single-threaded in simulated time: exactly
+// one process runs at any instant, events at equal timestamps fire in the
+// order they were scheduled, and all randomness flows through an explicitly
+// seeded PRNG. The same seed therefore yields a bit-identical simulation,
+// which the test suite relies on throughout.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in simulated time, measured in nanoseconds from the start
+// of the simulation. It doubles as a duration; arithmetic on Time values is
+// plain integer arithmetic.
+type Time int64
+
+// Common durations, for readable literals such as 3*sim.Microsecond.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts a floating-point second count to a Time.
+func Seconds(s float64) Time { return Time(s*float64(Second) + 0.5) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros reports t as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// TransferTime returns the serialization delay of n bytes over a link moving
+// bytesPerSec, rounded half-up to a whole nanosecond.
+func TransferTime(n int64, bytesPerSec float64) Time {
+	if n <= 0 || bytesPerSec <= 0 {
+		return 0
+	}
+	return Time(float64(n)/bytesPerSec*float64(Second) + 0.5)
+}
+
+// event is one scheduled callback. seq breaks timestamp ties so scheduling
+// order is execution order.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the simulation scheduler. The zero value is not usable; create
+// one with NewKernel.
+type Kernel struct {
+	now      Time
+	seq      uint64
+	queue    eventHeap
+	stopped  bool
+	executed uint64
+	// nprocs counts live processes so Run can detect a deadlock: events
+	// exhausted while non-daemon processes are still parked. Daemons are
+	// service loops expected to idle forever.
+	nprocs        int
+	parked        int
+	daemons       int
+	parkedDaemons int
+}
+
+// NewKernel returns a kernel with simulated time at zero.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// EventsExecuted returns the number of events the kernel has run — the
+// simulator's work metric.
+func (k *Kernel) EventsExecuted() uint64 { return k.executed }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.queue, event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// Stop makes Run return after the event being processed completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events until the queue drains, Stop is called, or the
+// optional horizon is reached (horizon <= 0 means no horizon). It returns
+// the time of the last executed event.
+//
+// Run panics if the event queue drains while processes remain parked — that
+// is a deadlock in the modeled hardware and always a bug.
+func (k *Kernel) Run(horizon Time) Time {
+	k.stopped = false
+	for len(k.queue) > 0 && !k.stopped {
+		e := heap.Pop(&k.queue).(event)
+		if horizon > 0 && e.at > horizon {
+			heap.Push(&k.queue, e) // keep it runnable for a later Run call
+			k.now = horizon
+			return k.now
+		}
+		k.now = e.at
+		k.executed++
+		e.fn()
+	}
+	if !k.stopped && len(k.queue) == 0 && k.parked-k.parkedDaemons > 0 && k.parked == k.nprocs {
+		panic(fmt.Sprintf("sim: deadlock at %v: %d non-daemon processes parked with no pending events",
+			k.now, k.parked-k.parkedDaemons))
+	}
+	return k.now
+}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramPercentileProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		vals := make([]Time, len(raw))
+		for i, v := range raw {
+			vals[i] = Time(v)
+			h.Add(Time(v))
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		// Order-statistic invariants: monotone in p, bounded by min/max,
+		// p100 == max, p50 is the nearest-rank median.
+		if h.Percentile(100) != vals[len(vals)-1] {
+			return false
+		}
+		prev := Time(0)
+		for _, p := range []float64{1, 25, 50, 75, 90, 99, 100} {
+			v := h.Percentile(p)
+			if v < prev || v < vals[0] || v > vals[len(vals)-1] {
+				return false
+			}
+			prev = v
+		}
+		rank := int(math.Ceil(50.0/100*float64(len(vals)))) - 1
+		return h.Percentile(50) == vals[rank]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramStddevAndString(t *testing.T) {
+	var h Histogram
+	for _, v := range []Time{2, 4, 4, 4, 5, 5, 7, 9} {
+		h.Add(v)
+	}
+	// Classic example: population stddev is exactly 2.
+	if sd := h.Stddev(); math.Abs(sd-2) > 1e-9 {
+		t.Errorf("stddev = %v, want 2", sd)
+	}
+	s := h.String()
+	if !strings.Contains(s, "n=8") || !strings.Contains(s, "p99") {
+		t.Errorf("summary %q missing fields", s)
+	}
+	var empty Histogram
+	if empty.Stddev() != 0 || empty.Percentile(99) != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+}
+
+func TestMeterBytesAndUnits(t *testing.T) {
+	k := NewKernel()
+	m := NewMeter(k)
+	m.Add(999) // before Start: ignored
+	m.Start()
+	k.Spawn("p", func(p *Proc) {
+		p.Sleep(Second)
+		m.Add(3e9)
+	})
+	k.Run(0)
+	if m.Bytes() != 3e9 {
+		t.Fatalf("Bytes = %d (pre-Start adds must not count)", m.Bytes())
+	}
+	if g := m.GBps(); math.Abs(g-3) > 1e-9 {
+		t.Fatalf("GBps = %v, want 3", g)
+	}
+	if g := ToGBps(5e9); math.Abs(g-5) > 1e-9 {
+		t.Fatalf("ToGBps = %v", g)
+	}
+}
+
+func TestTimeSeconds(t *testing.T) {
+	if s := (2500 * Millisecond).Seconds(); math.Abs(s-2.5) > 1e-12 {
+		t.Fatalf("Seconds = %v, want 2.5", s)
+	}
+}
+
+func TestChanLenCapPeek(t *testing.T) {
+	k := NewKernel()
+	c := NewChan[int](k, 4)
+	if c.Cap() != 4 || c.Len() != 0 {
+		t.Fatalf("fresh chan Len/Cap = %d/%d", c.Len(), c.Cap())
+	}
+	if _, ok := c.Peek(); ok {
+		t.Fatal("Peek on empty chan returned a value")
+	}
+	if !c.TryPut(7) || !c.TryPut(8) {
+		t.Fatal("TryPut into empty chan failed")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if v, ok := c.Peek(); !ok || v != 7 {
+		t.Fatalf("Peek = %d/%v, want 7/true", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatal("Peek consumed a value")
+	}
+	c.TryPut(9)
+	c.TryPut(10)
+	if c.TryPut(11) {
+		t.Fatal("TryPut into full chan succeeded")
+	}
+}
+
+func TestPipeBusyUntilAndReset(t *testing.T) {
+	k := NewKernel()
+	p := NewPipe(k, 1e9, 0)
+	if p.BusyUntil() != 0 {
+		t.Fatal("fresh pipe busy")
+	}
+	end := p.Reserve(1e6) // 1 ms at 1 GB/s
+	if p.BusyUntil() != end || end != Time(Millisecond) {
+		t.Fatalf("BusyUntil = %v, want %v", p.BusyUntil(), Millisecond)
+	}
+	if p.BytesMoved() != 1e6 {
+		t.Fatalf("BytesMoved = %d", p.BytesMoved())
+	}
+	p.ResetStats()
+	if p.BytesMoved() != 0 {
+		t.Fatal("ResetStats kept byte counter")
+	}
+}
+
+func TestResourceCapacity(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, 3)
+	if r.Capacity() != 3 {
+		t.Fatalf("Capacity = %d", r.Capacity())
+	}
+}
+
+func TestServerBusyUntil(t *testing.T) {
+	k := NewKernel()
+	s := NewServer(k)
+	if s.BusyUntil() != 0 {
+		t.Fatal("fresh server busy")
+	}
+	if done := s.Occupy(100); done != 100 || s.BusyUntil() != 100 {
+		t.Fatalf("BusyUntil after occupy = %v, want 100", s.BusyUntil())
+	}
+}
+
+func TestRandRejectsZeroAndBounds(t *testing.T) {
+	r := NewRand(0) // zero seed must still produce a usable stream
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Int63n(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("only %d of 10 values seen", len(seen))
+	}
+}

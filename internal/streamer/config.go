@@ -1,0 +1,150 @@
+// Package streamer implements SNAcc's core contribution: the NVMe Streamer
+// IP (paper §4). It exposes four AXI4-Stream interfaces to a user PE (read
+// command, read data, write, write response), owns the NVMe submission
+// queue as a FIFO inside the IP and the completion queue as a reorder
+// buffer, splits transfers into ≤1 MiB NVMe commands, synthesizes PRP-list
+// entries on the fly (the bit-22 address trick for URAM, a command-ID
+// register file for the DRAM variants), and retires completions strictly in
+// order — issuing new commands only as head-of-line commands retire, the
+// §7 policy whose random-read cost Figure 4b quantifies.
+//
+// Three buffer variants exist, exactly as in §4.3: 4 MB of on-die URAM
+// shared between directions, 64+64 MB in on-board DRAM behind the single
+// TaPaSCo memory controller, and 64+64 MB of pinned host DRAM stitched from
+// 4 MiB chunks.
+package streamer
+
+import (
+	"snacc/internal/axis"
+	"snacc/internal/memmodel"
+	"snacc/internal/sim"
+)
+
+// Variant selects the payload buffer memory (§4.3).
+type Variant int
+
+// The three NVMe Streamer variants from the paper.
+const (
+	URAM Variant = iota
+	OnboardDRAM
+	HostDRAM
+)
+
+// String names the variant as the paper does.
+func (v Variant) String() string {
+	switch v {
+	case URAM:
+		return "URAM"
+	case OnboardDRAM:
+		return "On-board DRAM"
+	case HostDRAM:
+		return "Host DRAM"
+	default:
+		return "unknown"
+	}
+}
+
+// Window layout offsets. The URAM variant doubles its 4 MiB data space and
+// uses bit 22 to select the PRP shadow half (Figure 2), so the data region
+// must sit at a 8 MiB-aligned window base.
+const (
+	// PRPShadowBit is the address bit selecting the URAM PRP shadow.
+	PRPShadowBit = 1 << 22
+)
+
+// Config parameterizes one NVMe Streamer instance.
+type Config struct {
+	// Name identifies the streamer (and its IOMMU grants).
+	Name string
+	// WindowBase is the bus address of the streamer's window inside the
+	// FPGA BAR. Must be aligned to the window size.
+	WindowBase uint64
+	Variant    Variant
+	// QueueDepth is the SQ depth / reorder-buffer size (64 in the paper).
+	QueueDepth int
+	// MaxCmdBytes is the per-NVMe-command split size (1 MiB in the paper).
+	MaxCmdBytes int64
+	// ReadBufBytes / WriteBufBytes size the payload buffers. The URAM
+	// variant shares one buffer: set ReadBufBytes and leave WriteBufBytes
+	// zero.
+	ReadBufBytes  int64
+	WriteBufBytes int64
+	// StreamCfg parameterizes the four PE-facing AXI streams.
+	StreamCfg axis.Config
+	// SubmitOverhead is the submission FSM cost per command: stream beat
+	// decode, buffer allocation, SQE build, doorbell (≈250 cycles at
+	// 300 MHz).
+	SubmitOverhead sim.Time
+	// RetireReadCost / RetireWriteCost are the retirement FSM costs per
+	// command. Reads pay for the in-order reorder-buffer walk plus the
+	// shared-ring bookkeeping and drain control; writes only release
+	// resources and emit a token. The read cost is the calibrated source
+	// of the paper's flat 1.6 GB/s random-read ceiling (Figure 4b).
+	RetireReadCost  sim.Time
+	RetireWriteCost sim.Time
+	// OOORetireReadCost replaces RetireReadCost when OutOfOrder is on: a
+	// CID-indexed retirement engine skips the in-order walk and the ring
+	// bookkeeping, so the §7 extension projects a leaner per-completion
+	// cost.
+	OOORetireReadCost sim.Time
+	// DrainLatency is added when fetching retired read data from the
+	// buffer before streaming it to the PE; it is the calibrated
+	// per-variant gap in Figure 4c (URAM fastest, host DRAM slowest).
+	DrainLatency sim.Time
+	// AddressCalcOverhead is added to PRP window responses in the host
+	// DRAM variant, covering the 4 MiB chunk stitching (§4.3).
+	AddressCalcOverhead sim.Time
+	// OutOfOrder enables the §7 future-work extension: completions retire
+	// as they arrive rather than in order. Buffers then come from a
+	// fixed-size slot pool instead of the in-order ring.
+	OutOfOrder bool
+	// Functional moves real payload bytes end to end.
+	Functional bool
+}
+
+// DefaultConfig returns the paper's configuration for a variant.
+func DefaultConfig(name string, windowBase uint64, v Variant) Config {
+	cfg := Config{
+		Name:              name,
+		WindowBase:        windowBase,
+		Variant:           v,
+		QueueDepth:        64,
+		MaxCmdBytes:       sim.MiB,
+		StreamCfg:         axis.DefaultConfig(),
+		SubmitOverhead:    850 * sim.Nanosecond,
+		RetireReadCost:    2500 * sim.Nanosecond,
+		RetireWriteCost:   200 * sim.Nanosecond,
+		OOORetireReadCost: 950 * sim.Nanosecond,
+	}
+	switch v {
+	case URAM:
+		cfg.ReadBufBytes = 4 * sim.MiB
+		cfg.DrainLatency = 200 * sim.Nanosecond
+	case OnboardDRAM:
+		cfg.ReadBufBytes = 64 * sim.MiB
+		cfg.WriteBufBytes = 64 * sim.MiB
+		cfg.DrainLatency = 6500 * sim.Nanosecond
+	case HostDRAM:
+		cfg.ReadBufBytes = 64 * sim.MiB
+		cfg.WriteBufBytes = 64 * sim.MiB
+		cfg.DrainLatency = 11200 * sim.Nanosecond
+		cfg.AddressCalcOverhead = 60 * sim.Nanosecond
+	}
+	return cfg
+}
+
+// Resources abstracts the memories and fabric attachments the streamer
+// stages data in; the TaPaSCo platform layer provides them.
+type Resources struct {
+	// Local is the on-card memory backing the data window (URAM model or
+	// the DRAM controller). nil for the HostDRAM variant.
+	Local memmodel.Memory
+	// LocalBase is the window-relative offset of the data region start
+	// within Local (the DRAM variant reserves its buffer inside card
+	// DRAM).
+	LocalBase uint64
+	// HostRead / HostWrite are the pinned host chunk sets for the
+	// HostDRAM variant. nil otherwise.
+	HostRead  *memmodel.ChunkedBuffer
+	HostWrite *memmodel.ChunkedBuffer
+}

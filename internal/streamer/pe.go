@@ -1,0 +1,86 @@
+package streamer
+
+import (
+	"snacc/internal/axis"
+	"snacc/internal/sim"
+)
+
+// Client is a convenience wrapper for driving a Streamer the way a user PE
+// does over the four AXI streams. Tests, benchmarks and examples use it;
+// the case study wires its own PEs directly to the streams.
+type Client struct {
+	s *Streamer
+	// PktBytes is the data-beat packet granularity used on the write
+	// stream (and expected back on the read stream). Defaults to 256 KiB.
+	PktBytes int64
+}
+
+// NewClient wraps a streamer.
+func NewClient(s *Streamer) *Client {
+	return &Client{s: s, PktBytes: 256 * sim.KiB}
+}
+
+// Streamer returns the wrapped streamer.
+func (c *Client) Streamer() *Streamer { return c.s }
+
+// Write streams n bytes to device byte address addr and waits for the
+// response token. data may be nil (timing-only).
+func (c *Client) Write(p *sim.Proc, addr uint64, n int64, data []byte) {
+	c.WriteAsync(p, addr, n, data)
+	c.WaitWrite(p)
+}
+
+// WriteAsync streams the write without waiting for the response token.
+func (c *Client) WriteAsync(p *sim.Proc, addr uint64, n int64, data []byte) {
+	c.s.WriteIn.Send(p, axis.Packet{Meta: WriteRequest{Addr: addr}})
+	var off int64
+	for off < n {
+		m := c.PktBytes
+		if m > n-off {
+			m = n - off
+		}
+		var d []byte
+		if data != nil {
+			d = data[off : off+m]
+		}
+		off += m
+		c.s.WriteIn.Send(p, axis.Packet{Bytes: m, Data: d, Last: off == n})
+	}
+}
+
+// WaitWrite consumes one write-response token.
+func (c *Client) WaitWrite(p *sim.Proc) {
+	c.s.WriteResp.Recv(p)
+}
+
+// ReadAsync issues a read command without consuming the data.
+func (c *Client) ReadAsync(p *sim.Proc, addr uint64, n int64) {
+	c.s.ReadCmd.Send(p, axis.Packet{Meta: ReadRequest{Addr: addr, Len: n}})
+}
+
+// ConsumeRead drains packets for one read request (until TLAST) and
+// returns the total bytes and concatenated content (functional mode).
+func (c *Client) ConsumeRead(p *sim.Proc) (int64, []byte) {
+	var total int64
+	var data []byte
+	for {
+		pkt := c.s.ReadData.Recv(p)
+		total += pkt.Bytes
+		if pkt.Data != nil {
+			data = append(data, pkt.Data...)
+		}
+		if pkt.Last {
+			return total, data
+		}
+	}
+}
+
+// Read performs a blocking read of n bytes at device byte address addr.
+func (c *Client) Read(p *sim.Proc, addr uint64, n int64) []byte {
+	c.ReadAsync(p, addr, n)
+	got, data := c.ConsumeRead(p)
+	if got != n {
+		panic("streamer: read returned unexpected length")
+	}
+	return data
+}

@@ -1,0 +1,163 @@
+package streamer
+
+import (
+	"fmt"
+
+	"snacc/internal/sim"
+)
+
+// byteRing allocates 4 KiB-aligned buffer segments in FIFO order and frees
+// them in the same order — the natural management for a buffer whose
+// commands retire strictly in order (§4.2: "the respective data buffer
+// space can be reused for the next NVMe read command"). When the tail
+// cannot fit a request contiguously it pads to the wrap point, so segments
+// are always physically contiguous (which is what makes the on-the-fly PRP
+// computation possible).
+type byteRing struct {
+	capacity int64
+	head     int64 // absolute offset of oldest live byte
+	tail     int64 // absolute offset of next free byte
+	live     int64 // bytes between head and tail (incl. padding)
+
+	// segments tracks allocation sizes (with padding) for FIFO free.
+	segments []ringSeg
+	waiters  []ringWaiter
+	// maxLive records the occupancy high-water mark.
+	maxLive int64
+}
+
+type ringSeg struct {
+	off  int64 // offset within the buffer (wrapped)
+	size int64 // allocation including any wrap padding
+}
+
+type ringWaiter struct {
+	p *sim.Proc
+	n int64
+}
+
+const ringAlign = 4096
+
+func newByteRing(capacity int64) *byteRing {
+	if capacity <= 0 || capacity%ringAlign != 0 {
+		panic("streamer: ring capacity must be a positive multiple of 4 KiB")
+	}
+	return &byteRing{capacity: capacity}
+}
+
+// roundUp aligns n to the ring granularity.
+func roundUp(n int64) int64 { return (n + ringAlign - 1) &^ (ringAlign - 1) }
+
+// tryAlloc attempts a contiguous allocation of n (rounded) bytes. Each new
+// command starts at a 4 KiB boundary (§4.3).
+func (r *byteRing) tryAlloc(n int64) (off int64, ok bool) {
+	need := roundUp(n)
+	if need > r.capacity {
+		panic(fmt.Sprintf("streamer: allocation %d exceeds ring capacity %d", n, r.capacity))
+	}
+	tailOff := r.tail % r.capacity
+	pad := int64(0)
+	if tailOff+need > r.capacity {
+		// Pad out the tail so the segment stays contiguous.
+		pad = r.capacity - tailOff
+	}
+	if r.live+pad+need > r.capacity {
+		return 0, false
+	}
+	r.live += pad + need
+	if r.live > r.maxLive {
+		r.maxLive = r.live
+	}
+	r.tail += pad
+	off = r.tail % r.capacity
+	r.tail += need
+	r.segments = append(r.segments, ringSeg{off: off, size: pad + need})
+	return off, true
+}
+
+// alloc blocks p until n bytes are available and returns the segment
+// offset. Admission is strictly FIFO: a request joins the wait queue and
+// only the queue head may allocate, so a large request is never starved by
+// smaller ones behind it.
+func (r *byteRing) alloc(p *sim.Proc, n int64) int64 {
+	r.waiters = append(r.waiters, ringWaiter{p: p, n: n})
+	for {
+		if r.waiters[0].p == p {
+			if off, ok := r.tryAlloc(n); ok {
+				r.waiters = r.waiters[1:]
+				// The new head may also fit; let it try.
+				if len(r.waiters) > 0 {
+					r.waiters[0].p.Wake()
+				}
+				return off
+			}
+		}
+		p.Park()
+	}
+}
+
+// free releases the oldest segment (FIFO) and lets the head waiter retry.
+func (r *byteRing) free() {
+	if len(r.segments) == 0 {
+		panic("streamer: ring free without live segment")
+	}
+	seg := r.segments[0]
+	r.segments = r.segments[1:]
+	r.head += seg.size
+	r.live -= seg.size
+	if len(r.waiters) > 0 {
+		r.waiters[0].p.Wake()
+	}
+}
+
+// liveBytes reports current occupancy (incl. padding).
+func (r *byteRing) liveBytes() int64 { return r.live }
+
+// slotPool is the fixed-slot allocator the out-of-order variant uses:
+// buffers free in completion order, so equal-size slots replace the FIFO
+// ring.
+type slotPool struct {
+	slotBytes int64
+	free      []int64
+	waiters   []*sim.Proc
+}
+
+func newSlotPool(capacity, slotBytes int64) *slotPool {
+	if slotBytes%ringAlign != 0 {
+		panic("streamer: slot size must be 4 KiB aligned")
+	}
+	p := &slotPool{slotBytes: slotBytes}
+	for off := int64(0); off+slotBytes <= capacity; off += slotBytes {
+		p.free = append(p.free, off)
+	}
+	if len(p.free) == 0 {
+		panic("streamer: slot pool smaller than one slot")
+	}
+	return p
+}
+
+func (sp *slotPool) alloc(p *sim.Proc, n int64) int64 {
+	if n > sp.slotBytes {
+		panic(fmt.Sprintf("streamer: request %d exceeds slot size %d", n, sp.slotBytes))
+	}
+	sp.waiters = append(sp.waiters, p)
+	for {
+		if sp.waiters[0] == p && len(sp.free) > 0 {
+			sp.waiters = sp.waiters[1:]
+			off := sp.free[0]
+			sp.free = sp.free[1:]
+			if len(sp.waiters) > 0 && len(sp.free) > 0 {
+				sp.waiters[0].Wake()
+			}
+			return off
+		}
+		p.Park()
+	}
+}
+
+func (sp *slotPool) release(off int64) {
+	sp.free = append(sp.free, off)
+	if len(sp.waiters) > 0 {
+		sp.waiters[0].Wake()
+	}
+}

@@ -1,0 +1,645 @@
+package streamer
+
+import (
+	"fmt"
+
+	"snacc/internal/axis"
+	"snacc/internal/nvme"
+	"snacc/internal/pcie"
+	"snacc/internal/sim"
+)
+
+// ReadRequest is the metadata of a PE read command (§4.1: "the user PE
+// issues a read command by sending the read address and length over one
+// stream"). Addr and Len are byte quantities on the NVMe namespace, 512
+// aligned.
+type ReadRequest struct {
+	Addr uint64
+	Len  int64
+}
+
+// WriteRequest is the metadata of the first beat on the write stream
+// ("the first stream beat on the command interface represents the desired
+// write address"); the data beats follow, delimited by TLAST.
+type WriteRequest struct {
+	Addr uint64
+}
+
+// Streamer is one NVMe Streamer instance.
+type Streamer struct {
+	k    *sim.Kernel
+	cfg  Config
+	res  Resources
+	port *pcie.Port
+
+	// PE-facing AXI4 streams (§4.1).
+	ReadCmd   *axis.Stream // PE → Streamer: ReadRequest metadata
+	ReadData  *axis.Stream // Streamer → PE: read payload
+	WriteIn   *axis.Stream // PE → Streamer: WriteRequest + data + TLAST
+	WriteResp *axis.Stream // Streamer → PE: completion tokens
+
+	// Device linkage, programmed by the host driver at initialization
+	// (§4.6: "dynamically configuring the NVMe Streamer ... with the
+	// global PCIe addresses of their queues and doorbell registers").
+	sqDoorbell uint64
+	cqDoorbell uint64
+	lbaSize    int64
+	configured bool
+
+	// Submission queue: a FIFO inside the IP that the NVMe controller
+	// reads over PCIe (§4.2, arrow ②).
+	sqRing [][]byte
+	sqTail int
+
+	// Completion queue: a reorder buffer (§4.2, arrow ⑤). Entries are
+	// indexed by CID.
+	rob        []robEntry
+	robHead    int
+	robTailIdx int
+	robLive    int
+	robFree    []int // OutOfOrder mode slot freelist
+	robWaiters []*sim.Proc
+	cqConsumed int
+
+	retireProc *sim.Proc
+	cqeSignal  *sim.Chan[struct{}]
+	// sendQ decouples retirement from data delivery so the per-variant
+	// drain latency pipelines across commands instead of throttling the
+	// retire FSM.
+	sendQ *sim.Chan[sendItem]
+
+	// Payload buffers.
+	readRing  *byteRing
+	writeRing *byteRing // nil when the buffer is shared (URAM)
+	readPool  *slotPool // OutOfOrder mode
+	writePool *slotPool
+
+	// PRP register file for the DRAM variants (Figure 3).
+	prpReg []prpRegVal
+
+	submitFSM *sim.Server
+	retireFSM *sim.Server
+
+	// Stats.
+	cmdsSubmitted int64
+	cmdsRetired   int64
+	bytesToPE     int64
+	bytesFromPE   int64
+	errors        int64
+	// Per-command submit→retire latency, by direction.
+	readLat  sim.Histogram
+	writeLat sim.Histogram
+}
+
+// robEntry is one in-flight NVMe command.
+type robEntry struct {
+	used        bool
+	isWrite     bool
+	bufOff      int64
+	length      int64
+	last        bool // final piece of the PE-level request
+	done        bool
+	status      uint16
+	submittedAt sim.Time
+	wreq        *writeTracker
+	// rreq/piece sequence the split pieces of one PE read so the
+	// out-of-order configuration still streams data in order (§7: an
+	// out-of-order approach "must appropriately handle large transfers
+	// split across multiple commands while maintaining correct processing
+	// order").
+	rreq  *readTracker
+	piece int
+}
+
+// readTracker orders the pieces of one PE read request.
+type readTracker struct {
+	next int
+}
+
+// writeTracker groups the split pieces of one PE write. sawLast matters in
+// the out-of-order configuration, where the final piece may retire before
+// earlier ones.
+type writeTracker struct {
+	remaining int
+	sawLast   bool
+}
+
+// New builds a streamer, wires its window sub-regions into the FPGA BAR
+// router, and starts its service processes.
+func New(k *sim.Kernel, cfg Config, res Resources, port *pcie.Port, router *pcie.RangeRouter) *Streamer {
+	if cfg.QueueDepth < 2 || cfg.QueueDepth > 1024 {
+		panic("streamer: queue depth out of range")
+	}
+	if cfg.MaxCmdBytes%4096 != 0 {
+		panic("streamer: command split size must be 4 KiB aligned")
+	}
+	s := &Streamer{
+		k:         k,
+		cfg:       cfg,
+		res:       res,
+		port:      port,
+		ReadCmd:   axis.New(k, cfg.Name+".rdcmd", cfg.StreamCfg),
+		ReadData:  axis.New(k, cfg.Name+".rddata", cfg.StreamCfg),
+		WriteIn:   axis.New(k, cfg.Name+".wr", cfg.StreamCfg),
+		WriteResp: axis.New(k, cfg.Name+".wrresp", cfg.StreamCfg),
+		sqRing:    make([][]byte, cfg.QueueDepth),
+		rob:       make([]robEntry, cfg.QueueDepth),
+		prpReg:    make([]prpRegVal, cfg.QueueDepth),
+		submitFSM: sim.NewServer(k),
+		retireFSM: sim.NewServer(k),
+		cqeSignal: sim.NewChan[struct{}](k, 1),
+		sendQ:     sim.NewChan[sendItem](k, 8),
+		lbaSize:   512,
+	}
+	if cfg.OutOfOrder {
+		for i := 0; i < cfg.QueueDepth; i++ {
+			s.robFree = append(s.robFree, i)
+		}
+		s.readPool = newSlotPool(cfg.ReadBufBytes, cfg.MaxCmdBytes)
+		if cfg.WriteBufBytes > 0 {
+			s.writePool = newSlotPool(cfg.WriteBufBytes, cfg.MaxCmdBytes)
+		}
+	} else {
+		s.readRing = newByteRing(cfg.ReadBufBytes)
+		if cfg.WriteBufBytes > 0 {
+			s.writeRing = newByteRing(cfg.WriteBufBytes)
+		}
+	}
+	s.installWindows(router)
+	k.Spawn(cfg.Name+".readcmd", s.readCmdLoop)
+	k.Spawn(cfg.Name+".write", s.writeLoop)
+	s.retireProc = k.Spawn(cfg.Name+".retire", s.retireLoop)
+	k.Spawn(cfg.Name+".send", s.sendLoop)
+	return s
+}
+
+// Configure programs the device doorbell addresses; called by the host
+// driver after it created the I/O queue pair on the SSD.
+func (s *Streamer) Configure(sqDoorbell, cqDoorbell uint64, lbaSize int64) {
+	s.sqDoorbell = sqDoorbell
+	s.cqDoorbell = cqDoorbell
+	s.lbaSize = lbaSize
+	s.configured = true
+}
+
+// Config returns the streamer configuration.
+func (s *Streamer) Config() Config { return s.cfg }
+
+// WindowSize returns the BAR window span this streamer decodes.
+func (s *Streamer) WindowSize() int64 { return s.windowSize() }
+
+// Stats.
+
+// CommandsSubmitted returns the NVMe commands issued.
+func (s *Streamer) CommandsSubmitted() int64 { return s.cmdsSubmitted }
+
+// CommandsRetired returns the NVMe commands retired in order.
+func (s *Streamer) CommandsRetired() int64 { return s.cmdsRetired }
+
+// BytesToPE returns payload bytes streamed to the PE (reads).
+func (s *Streamer) BytesToPE() int64 { return s.bytesToPE }
+
+// BytesFromPE returns payload bytes received from the PE (writes).
+func (s *Streamer) BytesFromPE() int64 { return s.bytesFromPE }
+
+// CommandErrors returns commands retired with non-success NVMe status.
+func (s *Streamer) CommandErrors() int64 { return s.errors }
+
+// CommandLatencies returns the submit→retire latency distributions for
+// read and write NVMe commands — the device-level view beneath the
+// PE-level Figure 4c numbers.
+func (s *Streamer) CommandLatencies() (read, write *sim.Histogram) {
+	return &s.readLat, &s.writeLat
+}
+
+// BufferHighWater reports the peak occupancy of the read and write staging
+// buffers — never exceeding their capacities, per §4.2's "We only request
+// as much data as can fit in our available data buffer". For the shared
+// URAM buffer both values refer to the single ring.
+func (s *Streamer) BufferHighWater() (read, write int64) {
+	if s.cfg.OutOfOrder {
+		return 0, 0 // slot pools are trivially bounded
+	}
+	read = s.readRing.maxLive
+	write = read
+	if s.writeRing != nil {
+		write = s.writeRing.maxLive
+	}
+	return read, write
+}
+
+// ---- command submission ----
+
+// occupy serializes p on an FSM server for d.
+func occupy(p *sim.Proc, srv *sim.Server, d sim.Time) {
+	p.Sleep(srv.Occupy(d) - p.Now())
+}
+
+// robAlloc reserves a reorder-buffer slot, blocking while the in-flight
+// window is full — the in-order issue gate of §7 ("issues new commands only
+// after the first previous command is completed").
+func (s *Streamer) robAlloc(p *sim.Proc) int {
+	// Strict FIFO admission: only the head waiter may claim a slot, so the
+	// slot sequence matches the order commands arrived from the PE ("all
+	// commands are retired in the order they are received", §4.2).
+	s.robWaiters = append(s.robWaiters, p)
+	for {
+		if s.robWaiters[0] == p && s.robAvailable() {
+			s.robWaiters = s.robWaiters[1:]
+			slot := s.robClaim()
+			if len(s.robWaiters) > 0 && s.robAvailable() {
+				s.robWaiters[0].Wake()
+			}
+			return slot
+		}
+		p.Park()
+	}
+}
+
+func (s *Streamer) robAvailable() bool {
+	// NVMe ring discipline: at most QueueDepth-1 commands may be in flight,
+	// or the SQ tail doorbell wraps onto the unfetched head and the
+	// controller sees an empty queue.
+	if s.cfg.OutOfOrder {
+		return len(s.robFree) > 1
+	}
+	return s.robLive < s.cfg.QueueDepth-1
+}
+
+func (s *Streamer) robClaim() int {
+	s.robLive++
+	if s.cfg.OutOfOrder {
+		slot := s.robFree[0]
+		s.robFree = s.robFree[1:]
+		return slot
+	}
+	slot := s.robTailIdx
+	s.robTailIdx = (s.robTailIdx + 1) % s.cfg.QueueDepth
+	return slot
+}
+
+func (s *Streamer) robRelease(slot int) {
+	s.rob[slot] = robEntry{}
+	s.robLive--
+	if s.cfg.OutOfOrder {
+		s.robFree = append(s.robFree, slot)
+	} else {
+		s.robHead = (s.robHead + 1) % s.cfg.QueueDepth
+	}
+	if len(s.robWaiters) > 0 {
+		s.robWaiters[0].Wake()
+	}
+}
+
+// allocReadBuf / allocWriteBuf block until payload space is available.
+func (s *Streamer) allocReadBuf(p *sim.Proc, n int64) int64 {
+	if s.cfg.OutOfOrder {
+		return s.readPool.alloc(p, n)
+	}
+	return s.readRing.alloc(p, n)
+}
+
+func (s *Streamer) allocWriteBuf(p *sim.Proc, n int64) int64 {
+	if s.cfg.OutOfOrder {
+		if s.writePool != nil {
+			return s.writePool.alloc(p, n)
+		}
+		return s.readPool.alloc(p, n)
+	}
+	if s.writeRing != nil {
+		return s.writeRing.alloc(p, n)
+	}
+	return s.readRing.alloc(p, n)
+}
+
+func (s *Streamer) freeBuf(isWrite bool, off int64) {
+	if s.cfg.OutOfOrder {
+		switch {
+		case isWrite && s.writePool != nil:
+			s.writePool.release(off)
+		default:
+			s.readPool.release(off)
+		}
+		return
+	}
+	if isWrite && s.writeRing != nil {
+		s.writeRing.free()
+		return
+	}
+	s.readRing.free()
+}
+
+// submit builds the SQE for one ≤MaxCmdBytes piece, stores it in the SQ
+// FIFO, and rings the device doorbell.
+func (s *Streamer) submit(p *sim.Proc, slot int, op uint8, devAddr uint64, bufOff, n int64, isWrite, last bool, wreq *writeTracker, rreq *readTracker, piece int) {
+	if !s.configured {
+		panic("streamer: command before Configure (host initialization missing)")
+	}
+	e := &s.rob[slot]
+	e.used = true
+	e.submittedAt = s.k.Now()
+	e.isWrite = isWrite
+	e.bufOff = bufOff
+	e.length = n
+	e.last = last
+	e.wreq = wreq
+	e.rreq = rreq
+	e.piece = piece
+
+	cmd := nvme.Command{Opcode: op, CID: uint16(slot), NSID: 1}
+	cmd.SetSLBA(devAddr / uint64(s.lbaSize))
+	cmd.SetNLB(uint32(n/s.lbaSize) - 1)
+	cmd.PRP1 = s.bufPhys(isWrite, bufOff)
+	switch {
+	case n <= nvme.PageSize:
+	case n <= 2*nvme.PageSize:
+		cmd.PRP2 = s.bufPhys(isWrite, bufOff+nvme.PageSize)
+	default:
+		cmd.PRP2 = s.prpPointer(slot, isWrite, bufOff)
+	}
+	s.sqRing[s.sqTail] = cmd.Marshal()
+	s.sqTail = (s.sqTail + 1) % s.cfg.QueueDepth
+	s.cmdsSubmitted++
+	tail := s.sqTail
+	s.port.Write(s.sqDoorbell, 4, []byte{byte(tail), byte(tail >> 8), byte(tail >> 16), byte(tail >> 24)}, nil)
+}
+
+// readCmdLoop services the PE's read command stream.
+func (s *Streamer) readCmdLoop(p *sim.Proc) {
+	p.SetDaemon(true)
+	for {
+		pkt := s.ReadCmd.Recv(p)
+		req, ok := pkt.Meta.(ReadRequest)
+		if !ok {
+			panic("streamer: read command packet without ReadRequest metadata")
+		}
+		if req.Len <= 0 || req.Addr%uint64(s.lbaSize) != 0 || req.Len%s.lbaSize != 0 {
+			panic(fmt.Sprintf("streamer: misaligned read request %#x+%d", req.Addr, req.Len))
+		}
+		// Split at the MaxCmdBytes boundary (§4.2) and pipeline pieces.
+		tracker := &readTracker{}
+		var off int64
+		piece := 0
+		for off < req.Len {
+			n := s.cfg.MaxCmdBytes
+			if n > req.Len-off {
+				n = req.Len - off
+			}
+			occupy(p, s.submitFSM, s.cfg.SubmitOverhead)
+			slot := s.robAlloc(p)
+			bufOff := s.allocReadBuf(p, n)
+			s.submit(p, slot, nvme.OpRead, req.Addr+uint64(off), bufOff, n, false, off+n == req.Len, nil, tracker, piece)
+			off += n
+			piece++
+		}
+	}
+}
+
+// writeLoop services the PE's write stream: buffer incoming data, issue a
+// command at each MaxCmdBytes boundary ("Large write commands are split at
+// each 1 MB boundary", §4.2), and let the retire path send the response
+// token once every piece finished.
+func (s *Streamer) writeLoop(p *sim.Proc) {
+	p.SetDaemon(true)
+	for {
+		head := s.WriteIn.Recv(p)
+		req, ok := head.Meta.(WriteRequest)
+		if !ok {
+			panic("streamer: write stream must start with WriteRequest metadata")
+		}
+		if req.Addr%uint64(s.lbaSize) != 0 {
+			panic(fmt.Sprintf("streamer: misaligned write address %#x", req.Addr))
+		}
+		tracker := &writeTracker{}
+		devAddr := req.Addr
+		done := head.Last // a bare header with TLAST is an empty write
+		pieces := 0
+		for !done {
+			// Collect the piece from the stream first — its exact size is
+			// known only at the 1 MiB boundary or TLAST — then reserve
+			// buffer space of that size and stage the data (posted).
+			var filled int64
+			var fnData []byte
+			if s.cfg.Functional {
+				fnData = make([]byte, 0, s.cfg.MaxCmdBytes)
+			}
+			for filled < s.cfg.MaxCmdBytes && !done {
+				pkt := s.WriteIn.Recv(p)
+				if pkt.Bytes <= 0 || filled+pkt.Bytes > s.cfg.MaxCmdBytes {
+					panic("streamer: write data packets must tile the 1 MiB piece")
+				}
+				if fnData != nil && pkt.Data != nil {
+					fnData = append(fnData, pkt.Data...)
+				}
+				filled += pkt.Bytes
+				s.bytesFromPE += pkt.Bytes
+				done = pkt.Last
+			}
+			if filled%s.lbaSize != 0 {
+				panic("streamer: write length must be a multiple of the LBA size")
+			}
+			occupy(p, s.submitFSM, s.cfg.SubmitOverhead)
+			slot := s.robAlloc(p)
+			bufOff := s.allocWriteBuf(p, filled)
+			var data []byte
+			if fnData != nil {
+				data = fnData
+			}
+			s.bufWrite(p, true, bufOff, filled, data)
+			tracker.remaining++
+			pieces++
+			s.submit(p, slot, nvme.OpWrite, devAddr, bufOff, filled, true, done, tracker, nil, 0)
+			devAddr += uint64(filled)
+		}
+		if pieces == 0 {
+			// Empty write: acknowledge immediately.
+			s.WriteResp.Send(p, axis.Packet{Last: true})
+		}
+	}
+}
+
+// ---- completion & retirement ----
+
+// onCQE is invoked by the CQ window completer when the device posts a
+// completion (arrow ⑤). Bits may set out of order; retirement stays in
+// order unless the OutOfOrder extension is on.
+func (s *Streamer) onCQE(cqe nvme.Completion) {
+	slot := int(cqe.CID)
+	if slot < 0 || slot >= len(s.rob) || !s.rob[slot].used {
+		panic(fmt.Sprintf("streamer: completion for invalid slot %d", slot))
+	}
+	if s.rob[slot].done {
+		panic(fmt.Sprintf("streamer: duplicate completion for slot %d", slot))
+	}
+	s.rob[slot].done = true
+	s.rob[slot].status = cqe.Status
+	// Nudge the retire loop; extra signals coalesce in the 1-deep channel.
+	s.cqeSignal.TryPut(struct{}{})
+}
+
+// nextRetirable returns a retirable slot, or -1. The out-of-order
+// configuration retires completions as they arrive, except that the pieces
+// of one PE read must still stream in order.
+func (s *Streamer) nextRetirable() int {
+	if s.cfg.OutOfOrder {
+		for i := range s.rob {
+			e := &s.rob[i]
+			if !e.used || !e.done {
+				continue
+			}
+			if e.rreq != nil && e.piece != e.rreq.next {
+				continue
+			}
+			return i
+		}
+		return -1
+	}
+	if s.robLive > 0 && s.rob[s.robHead].used && s.rob[s.robHead].done {
+		return s.robHead
+	}
+	return -1
+}
+
+// retireLoop processes completions: strictly head-first in the in-order
+// configuration ("While the completion bits may be set out-of-order, the
+// NVMe Streamer processes them in-order", §4.2). Data draining and buffer
+// release are delegated to the send stage so the retire FSM paces command
+// turnover while drains pipeline behind it.
+func (s *Streamer) retireLoop(p *sim.Proc) {
+	p.SetDaemon(true)
+	for {
+		slot := s.nextRetirable()
+		if slot < 0 {
+			s.cqeSignal.Get(p)
+			continue
+		}
+		e := s.rob[slot] // copy; robRelease clears the entry
+		if e.rreq != nil {
+			e.rreq.next++
+		}
+		cost := s.cfg.RetireWriteCost
+		if !e.isWrite {
+			cost = s.cfg.RetireReadCost
+			if s.cfg.OutOfOrder {
+				cost = s.cfg.OOORetireReadCost
+			}
+		}
+		occupy(p, s.retireFSM, cost)
+		if e.status != nvme.StatusSuccess {
+			s.errors++
+		}
+		if e.isWrite && e.wreq != nil {
+			e.wreq.remaining--
+			if e.last {
+				e.wreq.sawLast = true
+			}
+			if e.wreq.remaining == 0 && e.wreq.sawLast {
+				// ⑥b: completion token for the whole PE write.
+				s.WriteResp.Send(p, axis.Packet{Last: true})
+			}
+		}
+		// Buffer release stays strictly FIFO: the send stage frees write
+		// buffers immediately and read buffers once drained.
+		s.sendQ.Put(p, sendItem{
+			isWrite: e.isWrite,
+			bufOff:  e.bufOff,
+			length:  e.length,
+			last:    e.last,
+			readyAt: p.Now() + s.cfg.DrainLatency,
+		})
+		if e.isWrite {
+			s.writeLat.Add(p.Now() - e.submittedAt)
+		} else {
+			s.readLat.Add(p.Now() - e.submittedAt)
+		}
+		s.robRelease(slot)
+		s.cmdsRetired++
+		s.cqConsumed = (s.cqConsumed + 1) % s.cfg.QueueDepth
+		head := s.cqConsumed
+		s.port.Write(s.cqDoorbell, 4, []byte{byte(head), byte(head >> 8), byte(head >> 16), byte(head >> 24)}, nil)
+	}
+}
+
+// sendItem is one retired command handed to the send stage.
+type sendItem struct {
+	isWrite bool
+	bufOff  int64
+	length  int64
+	last    bool
+	readyAt sim.Time
+}
+
+// drainChunk is the granule the send stage reads from the payload buffer,
+// pipelined two deep so reading chunk i+1 overlaps streaming chunk i to the
+// PE (⑥a in Figure 1).
+const drainChunk = 256 * sim.KiB
+
+// sendLoop is the output stage: it drains retired read data from the buffer
+// memory (adding the per-variant drain pipeline latency), streams it to the
+// PE in retirement order, and performs all buffer frees in FIFO order.
+func (s *Streamer) sendLoop(p *sim.Proc) {
+	p.SetDaemon(true)
+	for {
+		it := s.sendQ.Get(p)
+		if it.isWrite {
+			s.freeBuf(true, it.bufOff)
+			continue
+		}
+		s.drainAndSend(p, it)
+		s.freeBuf(false, it.bufOff)
+		s.bytesToPE += it.length
+	}
+}
+
+// drainAndSend reads the command's payload from the staging buffer in
+// chunks (two in flight) and serializes it onto the ReadData stream.
+// Forwarding is strictly in ISSUE order: each in-flight chunk carries its
+// own completion channel and the sender waits for the oldest one, because
+// staging reads can complete out of order (a host-DRAM piece that straddles
+// a pinned-chunk boundary splits into runs with different latencies) and
+// the PE's byte stream must not be reordered.
+func (s *Streamer) drainAndSend(p *sim.Proc, it sendItem) {
+	type chunk struct {
+		m    int64
+		buf  []byte
+		done *sim.Chan[struct{}]
+	}
+	var inflight []chunk
+	var issued int64
+	issue := func() {
+		if issued >= it.length {
+			return
+		}
+		m := int64(drainChunk)
+		if m > it.length-issued {
+			m = it.length - issued
+		}
+		off := it.bufOff + issued
+		issued += m
+		var buf []byte
+		if s.cfg.Functional {
+			buf = make([]byte, m)
+		}
+		c := chunk{m: m, buf: buf, done: sim.NewChan[struct{}](s.k, 1)}
+		inflight = append(inflight, c)
+		s.bufReadAsync(false, off, m, buf, func() { c.done.TryPut(struct{}{}) })
+	}
+	issue()
+	issue()
+	var sent int64
+	for sent < it.length {
+		c := inflight[0]
+		inflight = inflight[1:]
+		c.done.Get(p)
+		issue()
+		if d := it.readyAt - p.Now(); d > 0 {
+			p.Sleep(d)
+		}
+		sent += c.m
+		s.ReadData.Send(p, axis.Packet{
+			Bytes: c.m,
+			Last:  it.last && sent == it.length,
+			Data:  c.buf,
+		})
+	}
+}

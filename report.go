@@ -1,0 +1,60 @@
+package snacc
+
+import (
+	"fmt"
+	"strings"
+
+	"snacc/internal/bench"
+	"snacc/internal/sim"
+)
+
+// ReportOptions scales the full-evaluation report.
+type ReportOptions struct {
+	// TransferMiB is the volume per bandwidth measurement (default 256;
+	// the paper uses 1024).
+	TransferMiB int64
+	// Images is the case-study stream length (default 128; paper 16384).
+	Images int
+	// LatencySamples for Figure 4c (default 150).
+	LatencySamples int
+	// Ablations includes the §7 extension experiments.
+	Ablations bool
+}
+
+// Report regenerates the paper's entire evaluation and returns it as one
+// formatted text document — the programmatic equivalent of
+// `snaccbench -all`.
+func Report(opts ReportOptions) string {
+	if opts.TransferMiB <= 0 {
+		opts.TransferMiB = 256
+	}
+	if opts.Images <= 0 {
+		opts.Images = 128
+	}
+	if opts.LatencySamples <= 0 {
+		opts.LatencySamples = 150
+	}
+	size := opts.TransferMiB * sim.MiB
+
+	var b strings.Builder
+	b.WriteString("SNAcc evaluation report (simulated; see EXPERIMENTS.md for calibration)\n\n")
+	fmt.Fprintln(&b, bench.RenderFig4a(bench.Fig4a(size)))
+	fmt.Fprintln(&b, bench.RenderFig4b(bench.Fig4b(size/4)))
+	fmt.Fprintln(&b, bench.RenderFig4c(bench.Fig4c(opts.LatencySamples)))
+	fmt.Fprintln(&b, bench.RenderTable1(bench.Table1()))
+	caseRows := bench.Fig6(opts.Images)
+	fmt.Fprintln(&b, bench.RenderFig6(caseRows))
+	fmt.Fprintln(&b, bench.RenderFig7(caseRows))
+	if opts.Ablations {
+		fmt.Fprintln(&b, bench.RenderAblationQD(bench.AblationQD([]int{16, 64, 256}, size/8)))
+		fmt.Fprintln(&b, bench.RenderAblationOOO(bench.AblationOOO(size/8)))
+		fmt.Fprintln(&b, bench.RenderAblationMultiSSD(bench.AblationMultiSSD([]int{1, 2, 4}, size/2)))
+		fmt.Fprintln(&b, bench.RenderAblationGen5(bench.AblationGen5(size)))
+		fmt.Fprintln(&b, bench.RenderAblationDRAM(bench.AblationDRAM(size)))
+		fmt.Fprintln(&b, bench.RenderAblationHBM(bench.AblationHBM(size)))
+		fmt.Fprintln(&b, bench.RenderFig6Striped(bench.Fig6Striped([]int{1, 2, 3}, opts.Images)))
+		fmt.Fprintln(&b, bench.RenderAblationQP(bench.AblationQP([]int{1, 2, 4}, size/8)))
+		fmt.Fprintln(&b, bench.RenderAblationMTU(bench.AblationMTU([]int64{1500, 4096, 9000}, opts.Images)))
+	}
+	return b.String()
+}

@@ -1,0 +1,222 @@
+// Package snacc is a full-system simulation of SNAcc, the open-source
+// framework for streaming-based network-to-storage FPGA accelerators
+// (Volz, Kalkhof, Koch — SC Workshops '25). It reproduces the paper's
+// entire stack in deterministic discrete-event simulation: a PCIe fabric
+// with peer-to-peer transfers and an IOMMU, a protocol-level NVMe SSD
+// model, the TaPaSCo platform layer, 100 G Ethernet with 802.3x flow
+// control, and — as the core contribution — the NVMe Streamer IP in its
+// three buffer variants (URAM, on-board DRAM, host DRAM) with on-the-fly
+// PRP-list synthesis and in-order retirement.
+//
+// The package exposes two levels:
+//
+//   - System / Handle: build a simulated FPGA+SSD system and drive it the
+//     way a user PE drives the Streamer's four AXI streams — writes carry
+//     real bytes end to end through the NVMe protocol onto simulated
+//     flash, and reads bring them back.
+//
+//   - Figure4a … Figure7, TableOne, Ablation…: regenerate every table and
+//     figure of the paper's evaluation.
+package snacc
+
+import (
+	"fmt"
+
+	"snacc/internal/fpga"
+	"snacc/internal/nvme"
+	"snacc/internal/pcie"
+	"snacc/internal/sim"
+	"snacc/internal/streamer"
+	"snacc/internal/tapasco"
+)
+
+// Variant selects the NVMe Streamer's payload buffer memory (paper §4.3).
+type Variant = streamer.Variant
+
+// The three Streamer variants.
+const (
+	URAM        = streamer.URAM
+	OnboardDRAM = streamer.OnboardDRAM
+	HostDRAM    = streamer.HostDRAM
+)
+
+// Options configures a simulated system.
+type Options struct {
+	// Variant picks the Streamer buffer memory. Default URAM.
+	Variant Variant
+	// QueueDepth is the NVMe submission queue / reorder buffer depth.
+	// Default 64, as in the paper.
+	QueueDepth int
+	// OutOfOrder enables the §7 out-of-order retirement extension.
+	OutOfOrder bool
+	// Functional moves real payload bytes through the whole stack
+	// (Ethernet frames, PCIe TLPs, PRP lists, NAND media). Default true —
+	// turn it off for large timing-only experiments.
+	Functional *bool
+	// Seed makes otherwise-default stochastic models (NAND latency
+	// jitter) deterministic per run.
+	Seed uint64
+}
+
+// System is an assembled simulation: Alveo U280 + host + Samsung 990 PRO
+// model + one NVMe Streamer, fully initialized (admin queue brought up,
+// I/O queues created inside the Streamer window, IOMMU granted, doorbells
+// programmed).
+type System struct {
+	kernel *sim.Kernel
+	plat   *tapasco.Platform
+	dev    *nvme.Device
+	st     *streamer.Streamer
+	client *streamer.Client
+}
+
+// systemBARWindow is where enumeration places discovered device BARs.
+const systemBARWindow = 0x10_0000_0000
+
+// NewSystem builds and initializes a system. The SSD's register BAR is not
+// hard-coded: the host enumerates the fabric's config space and locates
+// the device by its NVMe class code, the way a real kernel probes.
+func NewSystem(opts Options) (*System, error) {
+	functional := true
+	if opts.Functional != nil {
+		functional = *opts.Functional
+	}
+	k := sim.NewKernel()
+	pl := tapasco.NewPlatform(k, tapasco.DefaultU280())
+	devCfg := nvme.DefaultConfig("ssd0", 0) // BAR assigned by enumeration
+	devCfg.Functional = functional
+	if opts.Seed != 0 {
+		devCfg.NAND.Seed = opts.Seed
+	}
+	dev := nvme.New(k, pl.Fabric, devCfg)
+	stCfg := streamer.DefaultConfig("snacc0", 0, opts.Variant)
+	stCfg.Functional = functional
+	stCfg.OutOfOrder = opts.OutOfOrder
+	if opts.QueueDepth > 0 {
+		stCfg.QueueDepth = opts.QueueDepth
+	}
+	st := pl.AddStreamer(stCfg)
+	nvmes := pcie.FindByClass(pl.Fabric.Enumerate(systemBARWindow), pcie.ClassNVMe)
+	if len(nvmes) != 1 {
+		return nil, fmt.Errorf("snacc: enumeration found %d NVMe controllers, want 1", len(nvmes))
+	}
+	drv := tapasco.NewDriver(pl, nvmes[0].Name, nvmes[0].BARBase)
+	var initErr error
+	done := false
+	k.Spawn("init", func(p *sim.Proc) {
+		if err := drv.InitController(p); err != nil {
+			initErr = err
+			return
+		}
+		if err := drv.AttachStreamer(p, st, 1); err != nil {
+			initErr = err
+			return
+		}
+		done = true
+	})
+	k.Run(0)
+	if initErr != nil {
+		return nil, initErr
+	}
+	if !done {
+		return nil, fmt.Errorf("snacc: initialization stalled")
+	}
+	return &System{kernel: k, plat: pl, dev: dev, st: st, client: streamer.NewClient(st)}, nil
+}
+
+// MustNewSystem is NewSystem, panicking on error (examples, tests).
+func MustNewSystem(opts Options) *System {
+	s, err := NewSystem(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Handle drives the Streamer from inside the simulation, the way a user
+// PE drives its four AXI4-Stream interfaces.
+type Handle struct {
+	p   *sim.Proc
+	sys *System
+}
+
+// Execute runs fn as a simulation process and advances simulated time
+// until it (and everything it triggered) completes.
+func (s *System) Execute(fn func(h *Handle)) {
+	s.kernel.Spawn("app", func(p *sim.Proc) {
+		fn(&Handle{p: p, sys: s})
+	})
+	s.kernel.Run(0)
+}
+
+// Now returns the current simulated time in nanoseconds.
+func (h *Handle) Now() int64 { return int64(h.p.Now()) }
+
+// Write stores data at the given device byte address (512-aligned, length
+// a multiple of 512) and waits for the Streamer's response token.
+func (h *Handle) Write(addr uint64, data []byte) {
+	h.sys.client.Write(h.p, addr, int64(len(data)), data)
+}
+
+// WriteTimed performs a timing-only write of n bytes.
+func (h *Handle) WriteTimed(addr uint64, n int64) {
+	h.sys.client.Write(h.p, addr, n, nil)
+}
+
+// Read returns n bytes from the given device byte address.
+func (h *Handle) Read(addr uint64, n int64) []byte {
+	return h.sys.client.Read(h.p, addr, n)
+}
+
+// ReadTimed performs a timing-only read of n bytes.
+func (h *Handle) ReadTimed(addr uint64, n int64) {
+	h.sys.client.ReadAsync(h.p, addr, n)
+	h.sys.client.ConsumeRead(h.p)
+}
+
+// Sleep advances this process by d nanoseconds of simulated time.
+func (h *Handle) Sleep(d int64) { h.p.Sleep(sim.Time(d)) }
+
+// Stats is a snapshot of system counters.
+type Stats struct {
+	// Commands submitted/retired by the Streamer and errors seen.
+	CommandsSubmitted int64
+	CommandsRetired   int64
+	CommandErrors     int64
+	// Payload byte counters.
+	BytesToPE   int64
+	BytesFromPE int64
+	// PCIe payload delivered into each port.
+	PCIeCardRx int64
+	PCIeSSDRx  int64
+	PCIeHostRx int64
+	// Simulated time elapsed since the system was built.
+	SimTime int64
+	// SimEvents counts discrete-event executions (simulator work).
+	SimEvents uint64
+}
+
+// Stats snapshots the system counters.
+func (s *System) Stats() Stats {
+	return Stats{
+		CommandsSubmitted: s.st.CommandsSubmitted(),
+		CommandsRetired:   s.st.CommandsRetired(),
+		CommandErrors:     s.st.CommandErrors(),
+		BytesToPE:         s.st.BytesToPE(),
+		BytesFromPE:       s.st.BytesFromPE(),
+		PCIeCardRx:        s.plat.Card.PayloadRx(),
+		PCIeSSDRx:         s.dev.Port().PayloadRx(),
+		PCIeHostRx:        s.plat.Host.Port.PayloadRx(),
+		SimTime:           int64(s.kernel.Now()),
+		SimEvents:         s.kernel.EventsExecuted(),
+	}
+}
+
+// Capacity returns the simulated SSD capacity in bytes.
+func (s *System) Capacity() int64 { return s.dev.Config().NamespaceBytes }
+
+// Resources returns the Table 1 FPGA resource estimate for this system's
+// Streamer configuration.
+func (s *System) Resources() fpga.Resources {
+	return fpga.EstimateStreamer(s.st.Config())
+}

@@ -1,0 +1,46 @@
+package snacc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReplayTraceAPI(t *testing.T) {
+	ops, err := ParseTrace(strings.NewReader("R 0 1M\nW 1M 1M\nR 2M 1M\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := false
+	sys := MustNewSystem(Options{Variant: URAM, Functional: &f})
+	res, err := sys.ReplayTrace("api", ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reads != 2 || res.Writes != 1 {
+		t.Fatalf("op mix %d/%d, want 2/1", res.Reads, res.Writes)
+	}
+	if got := res.BytesRead + res.BytesWritten; got != 3<<20 {
+		t.Fatalf("moved %d bytes, want 3 MiB", got)
+	}
+}
+
+func TestRecordAndFormatTraceAPI(t *testing.T) {
+	spec := DefaultWorkload()
+	spec.TotalBytes = 1 << 20
+	ops, err := RecordTrace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := FormatTrace(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ops) {
+		t.Fatalf("round trip lost ops: %d vs %d", len(back), len(ops))
+	}
+}
