@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race vet bench perfreport
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-checks the worker pool and the kernel/buffer-pool hot paths it drives.
+race:
+	$(GO) test -race ./internal/parallel/... ./internal/sim/... ./internal/bufpool/...
+	$(GO) test -race -run TestParallelDeterminism ./internal/bench/
+
+vet:
+	$(GO) vet ./...
+
+# Microbenchmarks: kernel scheduling (events/sec, allocs/op) and end-to-end
+# streamer reads (4 KiB and 1 MiB).
+bench:
+	$(GO) test -run XXX -bench BenchmarkKernel -benchmem ./internal/sim/
+	$(GO) test -run XXX -bench BenchmarkStreamerRead -benchmem ./internal/bench/
+
+# Serial-vs-parallel suite wall time + kernel throughput -> BENCH_parallel.json
+perfreport:
+	$(GO) run ./cmd/snaccbench -perfreport

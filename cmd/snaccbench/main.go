@@ -11,15 +11,23 @@
 //	snaccbench -fig 7             # case-study PCIe traffic
 //	snaccbench -ablation qd|ooo|multissd|gen5|dram
 //	snaccbench -all               # everything
+//	snaccbench -all -j 8          # shard independent rigs over 8 workers
+//	snaccbench -perfreport        # write BENCH_parallel.json
 //
 // -size scales the per-measurement transfer volume (MiB). Absolute numbers
 // are calibrated against the paper's testbed; see EXPERIMENTS.md.
+//
+// -j selects how many worker goroutines independent simulation rigs are
+// sharded across (default: all CPUs). Every rig owns a private simulation
+// kernel with fixed seeds and rows are collected by index, so the output is
+// bit-identical at any -j value.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"snacc/internal/bench"
 	"snacc/internal/sim"
@@ -37,8 +45,11 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit tables as JSON instead of aligned text")
 	sweep := flag.Bool("sweep", false, "run the transfer-size convergence sweep")
 	timeline := flag.Bool("timeline", false, "sample write bandwidth over time (shows banding epochs)")
+	jobs := flag.Int("j", runtime.NumCPU(), "worker goroutines for independent experiment rigs (output is identical at any value)")
+	perfreport := flag.Bool("perfreport", false, "measure serial vs parallel suite wall time and kernel throughput, write BENCH_parallel.json")
 	flag.Parse()
 
+	bench.SetParallelism(*jobs)
 	size := *sizeMiB * sim.MiB
 	ran := false
 	show := func(t bench.Table) {
@@ -133,6 +144,17 @@ func main() {
 			sizes := []int64{32 * sim.MiB, 64 * sim.MiB, 128 * sim.MiB, 256 * sim.MiB, 512 * sim.MiB}
 			rows := bench.SweepTransferSize(0, sizes)
 			show(bench.RenderSweep("URAM", rows))
+		})
+	}
+	if *perfreport {
+		run("perf report (serial vs parallel)", func() {
+			rep := bench.MeasurePerf(*jobs)
+			doc := rep.JSON()
+			if err := os.WriteFile("BENCH_parallel.json", []byte(doc+"\n"), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(doc)
 		})
 	}
 

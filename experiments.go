@@ -23,6 +23,17 @@ type (
 	RenderedTable = bench.Table
 )
 
+// SetParallelism selects how many worker goroutines the experiment runners
+// shard independent simulation rigs across. n <= 0 selects all CPUs; the
+// default is 1 (serial). Every rig owns a private simulation kernel with
+// fixed seeds and rows are collected by index, so results are bit-identical
+// at any setting. Set it once before running experiments, not concurrently
+// with them.
+func SetParallelism(n int) { bench.SetParallelism(n) }
+
+// Parallelism reports the configured experiment worker count.
+func Parallelism() int { return bench.Parallelism() }
+
 // Figure4a regenerates the paper's Figure 4a (sequential NVMe bandwidth
 // for the three Streamer variants and SPDK). totalBytes is the transfer
 // size per measurement; 0 selects a fast default that already reaches

@@ -25,8 +25,8 @@ type AblationQDRow struct {
 // AblationQD sweeps the queue depth for 4 KiB random reads.
 func AblationQD(depths []int, totalBytes int64) []AblationQDRow {
 	const span = 64 * sim.GiB
-	var rows []AblationQDRow
-	for _, qd := range depths {
+	return mapRows(len(depths), func(i int) AblationQDRow {
+		qd := depths[i]
 		k, _, drvC := buildSPDK(qd, nil)
 		var spdkGB float64
 		k.Spawn("bench", func(p *sim.Proc) {
@@ -40,9 +40,8 @@ func AblationQD(depths []int, totalBytes int64) []AblationQDRow {
 		rig.measure(func(p *sim.Proc) {
 			snGB = streamer.RandRead(p, rig.c, span, totalBytes, 4096, 13).GBps()
 		})
-		rows = append(rows, AblationQDRow{QueueDepth: qd, SPDKGB: spdkGB, SNAccGB: snGB})
-	}
-	return rows
+		return AblationQDRow{QueueDepth: qd, SPDKGB: spdkGB, SNAccGB: snGB}
+	})
 }
 
 // AblationOOORow compares in-order vs out-of-order retirement (§7).
@@ -56,8 +55,8 @@ type AblationOOORow struct {
 // paper's in-order baseline on the on-board DRAM variant.
 func AblationOOO(totalBytes int64) []AblationOOORow {
 	const span = 64 * sim.GiB
-	var rows []AblationOOORow
-	for _, ooo := range []bool{false, true} {
+	return mapRows(2, func(i int) AblationOOORow {
+		ooo := i == 1
 		label := "in-order (paper)"
 		if ooo {
 			label = "out-of-order (§7)"
@@ -75,9 +74,8 @@ func AblationOOO(totalBytes int64) []AblationOOORow {
 			rr = streamer.RandRead(p, rig.c, span, totalBytes, 4096, 13).GBps()
 			sr = streamer.SeqRead(p, rig.c, 0, totalBytes).GBps()
 		})
-		rows = append(rows, AblationOOORow{Label: label, RandReadGB: rr, SeqReadGB: sr})
-	}
-	return rows
+		return AblationOOORow{Label: label, RandReadGB: rr, SeqReadGB: sr}
+	})
 }
 
 // AblationMultiSSDRow is the §7 multi-SSD scaling experiment.
@@ -92,8 +90,8 @@ type AblationMultiSSDRow struct {
 // extended to access multiple SSDs concurrently ... separate submission and
 // completion queues for each SSD".
 func AblationMultiSSD(counts []int, perSSDBytes int64) []AblationMultiSSDRow {
-	var rows []AblationMultiSSDRow
-	for _, n := range counts {
+	return mapRows(len(counts), func(ci int) AblationMultiSSDRow {
+		n := counts[ci]
 		k := sim.NewKernel()
 		pl := tapasco.NewPlatform(k, tapasco.DefaultU280())
 		var clients []*streamer.Client
@@ -137,9 +135,8 @@ func AblationMultiSSD(counts []int, perSSDBytes int64) []AblationMultiSSDRow {
 		})
 		k.Run(0)
 		agg := float64(perSSDBytes*int64(n)) / (end - start).Seconds() / 1e9
-		rows = append(rows, AblationMultiSSDRow{SSDs: n, SeqWriteGB: agg, PerSSDWrite: agg / float64(n)})
-	}
-	return rows
+		return AblationMultiSSDRow{SSDs: n, SeqWriteGB: agg, PerSSDWrite: agg / float64(n)}
+	})
 }
 
 // AblationGen5Row is the §7 PCIe 5.0 projection.
@@ -162,8 +159,9 @@ func AblationGen5(totalBytes int64) []AblationGen5Row {
 		// give the data-fetch engine a deeper window.
 		c.Link.ReadCredits = 8
 	}
-	var rows []AblationGen5Row
-	for _, mut := range []func(*nvme.Config){nil, gen5} {
+	muts := []func(*nvme.Config){nil, gen5}
+	return mapRows(len(muts), func(i int) AblationGen5Row {
+		mut := muts[i]
 		label := "Gen4 x4 (990 PRO)"
 		if mut != nil {
 			label = "Gen5 x4 (projected)"
@@ -174,9 +172,8 @@ func AblationGen5(totalBytes int64) []AblationGen5Row {
 			rd = streamer.SeqRead(p, rig.c, 0, totalBytes).GBps()
 			wr = streamer.SeqWrite(p, rig.c, 0, totalBytes).GBps()
 		})
-		rows = append(rows, AblationGen5Row{Label: label, SeqReadGB: rd, SeqWriteGB: wr})
-	}
-	return rows
+		return AblationGen5Row{Label: label, SeqReadGB: rd, SeqWriteGB: wr}
+	})
 }
 
 // AblationDRAMRow quantifies the on-board DRAM turnaround penalty.
@@ -190,8 +187,8 @@ type AblationDRAMRow struct {
 // modeled as a controller without read/write turnaround and row-miss
 // penalties between the competing streams.
 func AblationDRAM(totalBytes int64) []AblationDRAMRow {
-	var rows []AblationDRAMRow
-	for _, dual := range []bool{false, true} {
+	return mapRows(2, func(i int) AblationDRAMRow {
+		dual := i == 1
 		label := "single controller (paper)"
 		if dual {
 			label = "dual controller / HBM (§7)"
@@ -217,9 +214,8 @@ func AblationDRAM(totalBytes int64) []AblationDRAMRow {
 			wr = streamer.SeqWrite(p, streamer.NewClient(st), 0, totalBytes).GBps()
 		})
 		k.Run(0)
-		rows = append(rows, AblationDRAMRow{Label: label, SeqWriteGB: wr})
-	}
-	return rows
+		return AblationDRAMRow{Label: label, SeqWriteGB: wr}
+	})
 }
 
 // AblationHBMRow compares the staging memory for the on-card variant.
@@ -234,8 +230,8 @@ type AblationHBMRow struct {
 // buffers across different HBM controllers to maximize parallelism and
 // bandwidth".
 func AblationHBM(totalBytes int64) []AblationHBMRow {
-	var rows []AblationHBMRow
-	for _, hbm := range []bool{false, true} {
+	return mapRows(2, func(i int) AblationHBMRow {
+		hbm := i == 1
 		label := "DDR4, single controller (paper)"
 		if hbm {
 			label = "HBM2, 32 channels (§7)"
@@ -266,9 +262,8 @@ func AblationHBM(totalBytes int64) []AblationHBMRow {
 			rd = streamer.SeqRead(p, c, 0, totalBytes).GBps()
 		})
 		k.Run(0)
-		rows = append(rows, AblationHBMRow{Label: label, SeqWriteGB: wr, SeqReadGB: rd})
-	}
-	return rows
+		return AblationHBMRow{Label: label, SeqWriteGB: wr, SeqReadGB: rd}
+	})
 }
 
 // AblationMTURow compares the network-bound §7 striped configuration across
@@ -286,8 +281,8 @@ type AblationMTURow struct {
 
 // AblationMTU sweeps the Ethernet MTU for the 3-SSD striped case study.
 func AblationMTU(mtus []int64, images int) []AblationMTURow {
-	var rows []AblationMTURow
-	for _, mtu := range mtus {
+	return mapRows(len(mtus), func(i int) AblationMTURow {
+		mtu := mtus[i]
 		cfg := casestudy.DefaultConfig()
 		if images > 0 {
 			cfg.Images = images
@@ -297,9 +292,8 @@ func AblationMTU(mtus []int64, images int) []AblationMTURow {
 		res := casestudy.RunSNAccStriped(3, cfg)
 		ecfg := ethernet.DefaultConfig()
 		ceiling := ecfg.BytesPerSec() * float64(mtu) / float64(mtu+ecfg.FrameOverheadBytes) / 1e9
-		rows = append(rows, AblationMTURow{MTU: mtu, CeilingGB: ceiling, CaseGB: res.GBps(), FPS: res.FPS()})
-	}
-	return rows
+		return AblationMTURow{MTU: mtu, CeilingGB: ceiling, CaseGB: res.GBps(), FPS: res.FPS()}
+	})
 }
 
 // AblationQPRow is one point of the queue-pair scaling sweep: n Streamers
@@ -319,8 +313,8 @@ type AblationQPRow struct {
 // device limit.
 func AblationQP(counts []int, totalBytes int64) []AblationQPRow {
 	const span = 64 * sim.GiB
-	var rows []AblationQPRow
-	for _, n := range counts {
+	return mapRows(len(counts), func(ci int) AblationQPRow {
+		n := counts[ci]
 		row := AblationQPRow{Streamers: n}
 		for _, random := range []bool{false, true} {
 			k := sim.NewKernel()
@@ -373,7 +367,6 @@ func AblationQP(counts []int, totalBytes int64) []AblationQPRow {
 				row.SeqWriteGB = gb
 			}
 		}
-		rows = append(rows, row)
-	}
-	return rows
+		return row
+	})
 }

@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"testing"
+
+	"snacc/internal/sim"
+	"snacc/internal/streamer"
+)
+
+// benchmarkStreamerRead measures one full-stack read per iteration: client
+// command in, SQE synthesis, controller fetch over the fabric, NAND read,
+// DMA into the staging buffer, in-order retirement, and the drain to the PE
+// stream. This is the end-to-end cost the kernel and buffer-pool work
+// targets; run with -benchmem to watch steady-state allocations.
+func benchmarkStreamerRead(b *testing.B, ioBytes int64) {
+	rig := buildSNAcc(streamer.URAM, nil, nil)
+	run := func() {
+		rig.measure(func(p *sim.Proc) {
+			rig.c.Read(p, 0, ioBytes)
+		})
+	}
+	run() // warm the rig (queues created, pools primed)
+	b.SetBytes(ioBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+func BenchmarkStreamerRead4K(b *testing.B) { benchmarkStreamerRead(b, 4*sim.KiB) }
+
+func BenchmarkStreamerRead1M(b *testing.B) { benchmarkStreamerRead(b, sim.MiB) }

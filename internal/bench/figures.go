@@ -30,9 +30,24 @@ const fig4aWarmup = 64 * sim.MiB
 // bandwidth at any scale.
 func Fig4a(totalBytes int64) []Fig4aRow {
 	epoch := func(c *nvme.Config) { c.NAND.EpochBytes = totalBytes }
-	var rows []Fig4aRow
-	for _, v := range Variants() {
-		rig := buildSNAcc(v, nil, epoch)
+	variants := Variants()
+	return mapRows(len(variants)+1, func(i int) Fig4aRow {
+		if i == len(variants) {
+			k, _, drvC := buildSPDK(64, epoch)
+			var rd float64
+			var writes []float64
+			k.Spawn("bench", func(p *sim.Proc) {
+				d := awaitDriver(p, drvC)
+				rd = spdkSeq(p, d, nvme.OpRead, totalBytes)
+				spdkSeq(p, d, nvme.OpWrite, fig4aWarmup)
+				for i := 0; i < 2; i++ {
+					writes = append(writes, spdkSeq(p, d, nvme.OpWrite, totalBytes))
+				}
+			})
+			k.Run(0)
+			return fig4aRow("SPDK", rd, writes)
+		}
+		rig := buildSNAcc(variants[i], nil, epoch)
 		var rd float64
 		var writes []float64
 		rig.measure(func(p *sim.Proc) {
@@ -42,23 +57,8 @@ func Fig4a(totalBytes int64) []Fig4aRow {
 				writes = append(writes, streamer.SeqWrite(p, rig.c, 0, totalBytes).GBps())
 			}
 		})
-		rows = append(rows, fig4aRow(v.String(), rd, writes))
-	}
-
-	k, _, drvC := buildSPDK(64, epoch)
-	var rd float64
-	var writes []float64
-	k.Spawn("bench", func(p *sim.Proc) {
-		d := awaitDriver(p, drvC)
-		rd = spdkSeq(p, d, nvme.OpRead, totalBytes)
-		spdkSeq(p, d, nvme.OpWrite, fig4aWarmup)
-		for i := 0; i < 2; i++ {
-			writes = append(writes, spdkSeq(p, d, nvme.OpWrite, totalBytes))
-		}
+		return fig4aRow(variants[i].String(), rd, writes)
 	})
-	k.Run(0)
-	rows = append(rows, fig4aRow("SPDK", rd, writes))
-	return rows
 }
 
 func fig4aRow(label string, rd float64, writes []float64) Fig4aRow {
@@ -92,26 +92,27 @@ type Fig4bRow struct {
 // Fig4b measures random 4 KiB read/write bandwidth at queue depth 64.
 func Fig4b(totalBytes int64) []Fig4bRow {
 	const span = 64 * sim.GiB
-	var rows []Fig4bRow
-	for _, v := range Variants() {
-		rig := buildSNAcc(v, nil, nil)
+	variants := Variants()
+	return mapRows(len(variants)+1, func(i int) Fig4bRow {
+		if i == len(variants) {
+			k, _, drvC := buildSPDK(64, nil)
+			var rr, rw float64
+			k.Spawn("bench", func(p *sim.Proc) {
+				d := awaitDriver(p, drvC)
+				rr = spdkRand(p, d, nvme.OpRead, totalBytes)
+				rw = spdkRand(p, d, nvme.OpWrite, totalBytes)
+			})
+			k.Run(0)
+			return Fig4bRow{Label: "SPDK", RandReadGB: rr, RandWriteGB: rw}
+		}
+		rig := buildSNAcc(variants[i], nil, nil)
 		var rr, rw float64
 		rig.measure(func(p *sim.Proc) {
 			rr = streamer.RandRead(p, rig.c, span, totalBytes, 4096, 41).GBps()
 			rw = streamer.RandWrite(p, rig.c, span, totalBytes, 4096, 42).GBps()
 		})
-		rows = append(rows, Fig4bRow{Label: v.String(), RandReadGB: rr, RandWriteGB: rw})
-	}
-	k, _, drvC := buildSPDK(64, nil)
-	var rr, rw float64
-	k.Spawn("bench", func(p *sim.Proc) {
-		d := awaitDriver(p, drvC)
-		rr = spdkRand(p, d, nvme.OpRead, totalBytes)
-		rw = spdkRand(p, d, nvme.OpWrite, totalBytes)
+		return Fig4bRow{Label: variants[i].String(), RandReadGB: rr, RandWriteGB: rw}
 	})
-	k.Run(0)
-	rows = append(rows, Fig4bRow{Label: "SPDK", RandReadGB: rr, RandWriteGB: rw})
-	return rows
 }
 
 // Fig4cRow is one bar group of Figure 4c (4 KiB access latency). The paper
@@ -128,34 +129,33 @@ type Fig4cRow struct {
 // Fig4c measures queue-depth-1 random 4 KiB latency.
 func Fig4c(samples int) []Fig4cRow {
 	const span = 64 * sim.GiB
-	var rows []Fig4cRow
-	for _, v := range Variants() {
-		rig := buildSNAcc(v, nil, nil)
+	variants := Variants()
+	return mapRows(len(variants)+1, func(i int) Fig4cRow {
+		var label string
 		var rd, wr *sim.Histogram
-		rig.measure(func(p *sim.Proc) {
-			rd = streamer.LatencyRead(p, rig.c, span, 4096, samples, 5)
-			wr = streamer.LatencyWrite(p, rig.c, span, 4096, samples, 6)
-		})
-		rows = append(rows, Fig4cRow{
-			Label:       v.String(),
+		if i == len(variants) {
+			label = "SPDK"
+			k, _, drvC := buildSPDK(64, nil)
+			k.Spawn("bench", func(p *sim.Proc) {
+				d := awaitDriver(p, drvC)
+				rd = spdk.Latency(p, d, nvme.OpRead, 4096, samples, 31)
+				wr = spdk.Latency(p, d, nvme.OpWrite, 4096, samples, 31)
+			})
+			k.Run(0)
+		} else {
+			label = variants[i].String()
+			rig := buildSNAcc(variants[i], nil, nil)
+			rig.measure(func(p *sim.Proc) {
+				rd = streamer.LatencyRead(p, rig.c, span, 4096, samples, 5)
+				wr = streamer.LatencyWrite(p, rig.c, span, 4096, samples, 6)
+			})
+		}
+		return Fig4cRow{
+			Label:       label,
 			ReadLatency: rd.Mean(), ReadP99: rd.Percentile(99),
 			WriteLatency: wr.Mean(), WriteP99: wr.Percentile(99),
-		})
-	}
-	k, _, drvC := buildSPDK(64, nil)
-	var rd, wr *sim.Histogram
-	k.Spawn("bench", func(p *sim.Proc) {
-		d := awaitDriver(p, drvC)
-		rd = spdk.Latency(p, d, nvme.OpRead, 4096, samples, 31)
-		wr = spdk.Latency(p, d, nvme.OpWrite, 4096, samples, 31)
+		}
 	})
-	k.Run(0)
-	rows = append(rows, Fig4cRow{
-		Label:       "SPDK",
-		ReadLatency: rd.Mean(), ReadP99: rd.Percentile(99),
-		WriteLatency: wr.Mean(), WriteP99: wr.Percentile(99),
-	})
-	return rows
 }
 
 // Table1Row is one column of the paper's Table 1.
@@ -184,13 +184,17 @@ func Fig6(images int) []casestudy.Result {
 		cfg.Images = images
 		cfg.Source.Count = images
 	}
-	var out []casestudy.Result
-	for _, v := range Variants() {
-		out = append(out, casestudy.RunSNAcc(v, cfg))
-	}
-	out = append(out, casestudy.RunSPDK(cfg))
-	out = append(out, casestudy.RunGPU(cfg))
-	return out
+	variants := Variants()
+	return mapRows(len(variants)+2, func(i int) casestudy.Result {
+		switch {
+		case i < len(variants):
+			return casestudy.RunSNAcc(variants[i], cfg)
+		case i == len(variants):
+			return casestudy.RunSPDK(cfg)
+		default:
+			return casestudy.RunGPU(cfg)
+		}
+	})
 }
 
 // Fig7 reports the PCIe traffic of each case-study configuration. It reuses
@@ -229,17 +233,16 @@ type SweepRow struct {
 // reduced default sizes sit in the same steady state as the paper's 1 GB
 // transfers.
 func SweepTransferSize(v streamer.Variant, sizes []int64) []SweepRow {
-	var rows []SweepRow
-	for _, size := range sizes {
+	return mapRows(len(sizes), func(i int) SweepRow {
+		size := sizes[i]
 		rig := buildSNAcc(v, nil, nil)
 		var wr, rd float64
 		rig.measure(func(p *sim.Proc) {
 			wr = streamer.SeqWrite(p, rig.c, 0, size).GBps()
 			rd = streamer.SeqRead(p, rig.c, 0, size).GBps()
 		})
-		rows = append(rows, SweepRow{TransferBytes: size, SeqWriteGB: wr, SeqReadGB: rd})
-	}
-	return rows
+		return SweepRow{TransferBytes: size, SeqWriteGB: wr, SeqReadGB: rd}
+	})
 }
 
 // Fig6Striped runs the case study with the §7 multi-SSD extension: the
@@ -252,9 +255,7 @@ func Fig6Striped(counts []int, images int) []casestudy.Result {
 		cfg.Images = images
 		cfg.Source.Count = images
 	}
-	var out []casestudy.Result
-	for _, n := range counts {
-		out = append(out, casestudy.RunSNAccStriped(n, cfg))
-	}
-	return out
+	return mapRows(len(counts), func(i int) casestudy.Result {
+		return casestudy.RunSNAccStriped(counts[i], cfg)
+	})
 }

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"encoding/json"
+	"runtime"
+	"time"
+
+	"snacc/internal/sim"
+)
+
+// PerfReport summarizes the experiment engine's serial-vs-parallel wall time
+// on a sample of the suite plus the simulation kernel's scheduling rate.
+// The snaccbench CLI emits it as BENCH_parallel.json.
+type PerfReport struct {
+	// CPUs is runtime.NumCPU() on the measuring machine — the hard ceiling
+	// on any parallel speedup.
+	CPUs    int `json:"cpus"`
+	Workers int `json:"workers"`
+	// SerialSeconds and ParallelSeconds are wall times for the same sample
+	// suite at -j 1 and -j Workers.
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	// KernelEventsPerSec is the discrete-event scheduler's throughput
+	// (schedule + dispatch) on one core; KernelAllocsPerEvent is the
+	// steady-state heap allocations per event (0 for the inlined 4-ary
+	// heap).
+	KernelEventsPerSec   float64 `json:"kernel_events_per_sec"`
+	KernelAllocsPerEvent float64 `json:"kernel_allocs_per_event"`
+	Note                 string  `json:"note,omitempty"`
+}
+
+// JSON renders the report.
+func (r PerfReport) JSON() string {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return string(out)
+}
+
+// perfSample runs a representative slice of the suite: two bandwidth
+// figures, a latency figure, an ablation with two sub-rigs per row, and a
+// case-study pass — ten-plus independent rigs with uneven run times, the
+// load shape the worker pool has to schedule well.
+func perfSample() {
+	Fig4a(48 * sim.MiB)
+	Fig4b(12 * sim.MiB)
+	Fig4c(60)
+	AblationGen5(32 * sim.MiB)
+	Fig6(48)
+}
+
+// MeasurePerf times perfSample at -j 1 and -j workers and benchmarks the
+// kernel's event throughput. The engine parallelism is restored afterwards.
+func MeasurePerf(workers int) PerfReport {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	prev := Parallelism()
+	defer SetParallelism(prev)
+
+	SetParallelism(1)
+	perfSample() // warm-up: page in code paths and prime the buffer pools
+	start := time.Now()
+	perfSample()
+	serial := time.Since(start)
+
+	SetParallelism(workers)
+	start = time.Now()
+	perfSample()
+	par := time.Since(start)
+
+	eps, allocs := kernelRate()
+	r := PerfReport{
+		CPUs:                 runtime.NumCPU(),
+		Workers:              workers,
+		SerialSeconds:        serial.Seconds(),
+		ParallelSeconds:      par.Seconds(),
+		Speedup:              serial.Seconds() / par.Seconds(),
+		KernelEventsPerSec:   eps,
+		KernelAllocsPerEvent: allocs,
+	}
+	if r.CPUs == 1 {
+		r.Note = "single-CPU machine: workers share one core, so wall-time speedup is bounded at 1x"
+	}
+	return r
+}
+
+// kernelRate measures scheduler throughput and allocations per event: batches
+// of 4096 timestamp-shuffled events scheduled and dispatched to completion,
+// the access pattern the figure rigs generate.
+func kernelRate() (eventsPerSec, allocsPerEvent float64) {
+	const (
+		batch  = 4096
+		rounds = 256
+	)
+	k := sim.NewKernel()
+	fn := func() {}
+	rng := sim.NewRand(7)
+	run := func() {
+		base := k.Now()
+		for i := 0; i < batch; i++ {
+			k.At(base+sim.Time(rng.Int63n(1000)), fn)
+		}
+		k.Run(0)
+	}
+	run() // warm-up grows the heap's backing array
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		run()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	events := float64(batch * rounds)
+	return events / elapsed.Seconds(), float64(after.Mallocs-before.Mallocs) / events
+}

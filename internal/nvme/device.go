@@ -3,6 +3,7 @@ package nvme
 import (
 	"fmt"
 
+	"snacc/internal/bufpool"
 	"snacc/internal/pcie"
 	"snacc/internal/sim"
 )
@@ -372,7 +373,10 @@ func (d *Device) kick(q *queuePair) {
 		if debugTrace != nil {
 			debugTrace("fetch", q.id, fetchHead, batch, q.sqTailDB)
 		}
-		buf := make([]byte, batch*SQESize)
+		// Fetch buffers recycle through the pool: the completer fills buf
+		// before the callback runs, and every SQE is decoded into a value
+		// before the buffer is released.
+		buf := bufpool.Get(batch * SQESize)
 		d.port.ReadCtrl(q.sqBase+uint64(fetchHead*SQESize), int64(len(buf)), buf, func() {
 			q.sqHead = (fetchHead + batch) % q.entries
 			q.fetches--
@@ -390,6 +394,7 @@ func (d *Device) kick(q *queuePair) {
 				q.debugOutstanding[cmd.CID] = true
 				d.dispatch(q, cmd)
 			}
+			bufpool.Put(buf)
 			d.kick(q)
 		})
 	}
@@ -450,7 +455,11 @@ func (d *Device) complete(q *queuePair, cmd Command, status uint16, dw0 uint32) 
 		q.cqTail = 0
 		q.cqPhase = !q.cqPhase
 	}
-	d.port.Write(addr, CQESize, cqe.Marshal(), nil)
+	// The CQ completer (streamer reorder buffer or host memory) consumes
+	// the entry synchronously at delivery, so the buffer recycles then.
+	cqeBuf := bufpool.Get(CQESize)
+	cqe.MarshalInto(cqeBuf)
+	d.port.Write(addr, CQESize, cqeBuf, func() { bufpool.Put(cqeBuf) })
 	d.execGate.release()
 }
 

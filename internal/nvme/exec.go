@@ -3,6 +3,7 @@ package nvme
 import (
 	"encoding/binary"
 
+	"snacc/internal/bufpool"
 	"snacc/internal/sim"
 )
 
@@ -95,8 +96,11 @@ func (d *Device) resolvePRPs(cmd Command, total int64, fn func(runs []extent, st
 		fn(nil, StatusInvalidField)
 		return
 	}
-	listBuf := make([]byte, entries*8)
+	// The list buffer recycles through the pool: the completer fills it
+	// before the callback runs, and the extents below copy the addresses out.
+	listBuf := bufpool.Get(entries * 8)
 	d.port.ReadCtrl(cmd.PRP2, int64(len(listBuf)), listBuf, func() {
+		defer bufpool.Put(listBuf)
 		runs := make([]extent, 0, entries+1)
 		runs = append(runs, first)
 		left := remaining

@@ -88,6 +88,17 @@ type Command struct {
 // Marshal encodes the command into a 64-byte SQE.
 func (c *Command) Marshal() []byte {
 	b := make([]byte, SQESize)
+	c.MarshalInto(b)
+	return b
+}
+
+// MarshalInto encodes the command into b, which must hold SQESize bytes.
+// The buffer may be reused: every byte of the entry is written.
+func (c *Command) MarshalInto(b []byte) {
+	b = b[:SQESize]
+	for i := range b {
+		b[i] = 0
+	}
 	binary.LittleEndian.PutUint32(b[0:], uint32(c.Opcode)|uint32(c.PSDT&0x3)<<14|uint32(c.CID)<<16)
 	binary.LittleEndian.PutUint32(b[4:], c.NSID)
 	binary.LittleEndian.PutUint64(b[24:], c.PRP1)
@@ -98,7 +109,6 @@ func (c *Command) Marshal() []byte {
 	binary.LittleEndian.PutUint32(b[52:], c.CDW13)
 	binary.LittleEndian.PutUint32(b[56:], c.CDW14)
 	binary.LittleEndian.PutUint32(b[60:], c.CDW15)
-	return b
 }
 
 // UnmarshalCommand decodes a 64-byte SQE.
@@ -155,7 +165,16 @@ type Completion struct {
 // Marshal encodes the completion into a 16-byte CQE.
 func (c *Completion) Marshal() []byte {
 	b := make([]byte, CQESize)
+	c.MarshalInto(b)
+	return b
+}
+
+// MarshalInto encodes the completion into b, which must hold CQESize bytes.
+// The buffer may be reused: every byte of the entry is written.
+func (c *Completion) MarshalInto(b []byte) {
+	b = b[:CQESize]
 	binary.LittleEndian.PutUint32(b[0:], c.DW0)
+	binary.LittleEndian.PutUint32(b[4:], 0)
 	binary.LittleEndian.PutUint32(b[8:], uint32(c.SQHead)|uint32(c.SQID)<<16)
 	dw3 := uint32(c.CID)
 	if c.Phase {
@@ -163,7 +182,6 @@ func (c *Completion) Marshal() []byte {
 	}
 	dw3 |= uint32(c.Status&0x7FFF) << 17
 	binary.LittleEndian.PutUint32(b[12:], dw3)
-	return b
 }
 
 // UnmarshalCompletion decodes a 16-byte CQE.

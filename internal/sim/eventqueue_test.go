@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestEventQueueOrdering drives the 4-ary heap with a deterministic pseudo-
+// random workload, interleaving bursts of pushes with partial drains, and
+// checks every pop against a naive reference queue: the minimum pending
+// (at, seq) pair must come out each time.
+func TestEventQueueOrdering(t *testing.T) {
+	type key struct {
+		at  Time
+		seq uint64
+	}
+	less := func(a, b key) bool {
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		return a.seq < b.seq
+	}
+	rng := NewRand(99)
+	var q eventQueue
+	var ref []key // unsorted reference of pending events
+	seq := uint64(0)
+	pops := 0
+	popOne := func() {
+		e := q.pop()
+		min := 0
+		for i := range ref {
+			if less(ref[i], ref[min]) {
+				min = i
+			}
+		}
+		if e.at != ref[min].at || e.seq != ref[min].seq {
+			t.Fatalf("pop %d returned (%v,%d), want (%v,%d)",
+				pops, e.at, e.seq, ref[min].at, ref[min].seq)
+		}
+		ref = append(ref[:min], ref[min+1:]...)
+		pops++
+	}
+	for round := 0; round < 200; round++ {
+		for i := 0; i < rng.Intn(20)+1; i++ {
+			seq++
+			at := Time(rng.Int63n(50)) // heavy timestamp collisions
+			q.push(event{at: at, seq: seq, fn: func() {}})
+			ref = append(ref, key{at, seq})
+		}
+		for i := 0; i < rng.Intn(10) && q.len() > 0; i++ {
+			popOne()
+		}
+	}
+	for q.len() > 0 {
+		popOne()
+	}
+	if len(ref) != 0 {
+		t.Fatalf("%d reference events never popped", len(ref))
+	}
+}
+
+// TestRunHorizonLeavesQueueIntact checks the peek-before-pop horizon path:
+// an over-horizon event must fire on a later unbounded Run, exactly once.
+func TestRunHorizonLeavesQueueIntact(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	k.At(100, func() { fired++ })
+	k.At(300, func() { fired++ })
+	if now := k.Run(200); now != 200 {
+		t.Fatalf("Run(200) returned %v, want 200", now)
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d events before horizon, want 1", fired)
+	}
+	if now := k.Run(0); now != 300 {
+		t.Fatalf("second Run returned %v, want 300", now)
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d events total, want 2", fired)
+	}
+	// Repeated horizon hits with nothing runnable must be cheap no-ops that
+	// still advance the clock.
+	k.At(1000, func() { fired++ })
+	for h := Time(400); h < 900; h += 100 {
+		if now := k.Run(h); now != h {
+			t.Fatalf("Run(%v) returned %v", h, now)
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("over-horizon event fired early")
+	}
+	k.Run(0)
+	if fired != 3 {
+		t.Fatalf("final event did not fire")
+	}
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"testing"
+)
+
+// BenchmarkKernelSchedule measures the push/pop hot path: schedule a batch
+// of events at staggered timestamps and drain them. The inlined 4-ary heap
+// must run at 0 allocs/op in steady state (container/heap boxed every event
+// through interface{}, costing one allocation per Push).
+func BenchmarkKernelSchedule(b *testing.B) {
+	k := NewKernel()
+	nop := func() {}
+	const batch = 256
+	// Warm the queue's backing array to its high-water mark so growth
+	// allocations do not pollute the steady-state measurement.
+	for j := 0; j < batch; j++ {
+		k.At(k.Now()+Time(j%17), nop)
+	}
+	k.Run(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := k.Now()
+		for j := 0; j < batch; j++ {
+			k.At(base+Time(j%17), nop)
+		}
+		k.Run(0)
+	}
+	b.StopTimer()
+	if k.EventsExecuted() == 0 {
+		b.Fatal("no events executed")
+	}
+}
+
+// BenchmarkKernelScheduleDeep exercises the heap at a sustained depth of
+// 4096 pending events, the regime of a busy multi-rig simulation.
+func BenchmarkKernelScheduleDeep(b *testing.B) {
+	k := NewKernel()
+	nop := func() {}
+	const depth = 4096
+	for j := 0; j < depth; j++ {
+		k.At(k.Now()+Time(j%61)+1, nop)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Pop one event, push a replacement: constant-depth churn.
+		e := k.queue.pop()
+		k.now = e.at
+		k.executed++
+		k.At(k.now+Time(i%61)+1, nop)
+	}
+	b.StopTimer()
+	k.queue.ev = nil // drop pending events; this kernel is not reused
+}
+
+// BenchmarkKernelHorizon measures repeated Run calls that hit the horizon:
+// the peek-before-pop path must not re-heapify the over-horizon event.
+func BenchmarkKernelHorizon(b *testing.B) {
+	k := NewKernel()
+	nop := func() {}
+	k.At(1<<50, nop) // far-future event keeps the queue non-empty
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Run(k.Now() + 10)
+	}
+}

@@ -2,6 +2,7 @@ package streamer
 
 import (
 	"snacc/internal/axis"
+	"snacc/internal/bufpool"
 	"snacc/internal/sim"
 )
 
@@ -68,6 +69,9 @@ func (c *Client) ConsumeRead(p *sim.Proc) (int64, []byte) {
 		total += pkt.Bytes
 		if pkt.Data != nil {
 			data = append(data, pkt.Data...)
+			// The drain chunk was copied out above; hand it back to
+			// the pool for the next chunk read.
+			bufpool.Put(pkt.Data)
 		}
 		if pkt.Last {
 			return total, data

@@ -1,6 +1,9 @@
 package streamer
 
-import "snacc/internal/sim"
+import (
+	"snacc/internal/bufpool"
+	"snacc/internal/sim"
+)
 
 // PerfResult is one bandwidth measurement.
 type PerfResult struct {
@@ -26,6 +29,7 @@ func SeqRead(p *sim.Proc, c *Client, startAddr uint64, total int64) PerfResult {
 	for got < total {
 		pkt := c.Streamer().ReadData.Recv(p)
 		got += pkt.Bytes
+		bufpool.Put(pkt.Data) // benchmark drops the payload; recycle it
 		if pkt.Last && got < total {
 			panic("streamer: early TLAST in sequential read")
 		}
@@ -55,6 +59,7 @@ func RandRead(p *sim.Proc, c *Client, spanBytes, total, ioBytes int64, seed uint
 		for got < total {
 			pkt := c.Streamer().ReadData.Recv(cp)
 			got += pkt.Bytes
+			bufpool.Put(pkt.Data)
 		}
 		done.TryPut(struct{}{})
 	})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"snacc/internal/axis"
+	"snacc/internal/bufpool"
 	"snacc/internal/nvme"
 	"snacc/internal/pcie"
 	"snacc/internal/sim"
@@ -47,9 +48,15 @@ type Streamer struct {
 	configured bool
 
 	// Submission queue: a FIFO inside the IP that the NVMe controller
-	// reads over PCIe (§4.2, arrow ②).
-	sqRing [][]byte
-	sqTail int
+	// reads over PCIe (§4.2, arrow ②). Slots are preallocated out of one
+	// backing array and encoded in place — the NVMe ring discipline
+	// (at most QueueDepth-1 commands in flight) guarantees a slot's entry
+	// has been fetched before the tail wraps onto it. sqFilled tracks
+	// which slots have ever held an entry, preserving the empty-slot
+	// fetch check the old nil-slice representation gave for free.
+	sqRing   [][]byte
+	sqFilled []bool
+	sqTail   int
 
 	// Completion queue: a reorder buffer (§4.2, arrow ⑤). Entries are
 	// indexed by CID.
@@ -143,6 +150,7 @@ func New(k *sim.Kernel, cfg Config, res Resources, port *pcie.Port, router *pcie
 		WriteIn:   axis.New(k, cfg.Name+".wr", cfg.StreamCfg),
 		WriteResp: axis.New(k, cfg.Name+".wrresp", cfg.StreamCfg),
 		sqRing:    make([][]byte, cfg.QueueDepth),
+		sqFilled:  make([]bool, cfg.QueueDepth),
 		rob:       make([]robEntry, cfg.QueueDepth),
 		prpReg:    make([]prpRegVal, cfg.QueueDepth),
 		submitFSM: sim.NewServer(k),
@@ -150,6 +158,10 @@ func New(k *sim.Kernel, cfg Config, res Resources, port *pcie.Port, router *pcie
 		cqeSignal: sim.NewChan[struct{}](k, 1),
 		sendQ:     sim.NewChan[sendItem](k, 8),
 		lbaSize:   512,
+	}
+	sqeBacking := make([]byte, cfg.QueueDepth*nvme.SQESize)
+	for i := range s.sqRing {
+		s.sqRing[i] = sqeBacking[i*nvme.SQESize : (i+1)*nvme.SQESize]
 	}
 	if cfg.OutOfOrder {
 		for i := 0; i < cfg.QueueDepth; i++ {
@@ -357,11 +369,20 @@ func (s *Streamer) submit(p *sim.Proc, slot int, op uint8, devAddr uint64, bufOf
 	default:
 		cmd.PRP2 = s.prpPointer(slot, isWrite, bufOff)
 	}
-	s.sqRing[s.sqTail] = cmd.Marshal()
+	cmd.MarshalInto(s.sqRing[s.sqTail])
+	s.sqFilled[s.sqTail] = true
 	s.sqTail = (s.sqTail + 1) % s.cfg.QueueDepth
 	s.cmdsSubmitted++
-	tail := s.sqTail
-	s.port.Write(s.sqDoorbell, 4, []byte{byte(tail), byte(tail >> 8), byte(tail >> 16), byte(tail >> 24)}, nil)
+	s.ringDoorbell(s.sqDoorbell, uint32(s.sqTail))
+}
+
+// ringDoorbell posts a 4-byte doorbell write through a recycled buffer. The
+// device's register completer decodes the value synchronously at delivery,
+// after which the buffer returns to the pool.
+func (s *Streamer) ringDoorbell(addr uint64, val uint32) {
+	b := bufpool.Get(4)
+	b[0], b[1], b[2], b[3] = byte(val), byte(val>>8), byte(val>>16), byte(val>>24)
+	s.port.Write(addr, 4, b, func() { bufpool.Put(b) })
 }
 
 // readCmdLoop services the PE's read command stream.
@@ -418,10 +439,14 @@ func (s *Streamer) writeLoop(p *sim.Proc) {
 			// Collect the piece from the stream first — its exact size is
 			// known only at the 1 MiB boundary or TLAST — then reserve
 			// buffer space of that size and stage the data (posted).
+			// The staging slice comes from the buffer pool (up to
+			// MaxCmdBytes per in-flight command) and recycles once the
+			// payload has been consumed by the staging memory or, for the
+			// host-DRAM variant, delivered over PCIe.
 			var filled int64
 			var fnData []byte
 			if s.cfg.Functional {
-				fnData = make([]byte, 0, s.cfg.MaxCmdBytes)
+				fnData = bufpool.Get(int(s.cfg.MaxCmdBytes))[:0]
 			}
 			for filled < s.cfg.MaxCmdBytes && !done {
 				pkt := s.WriteIn.Recv(p)
@@ -442,10 +467,13 @@ func (s *Streamer) writeLoop(p *sim.Proc) {
 			slot := s.robAlloc(p)
 			bufOff := s.allocWriteBuf(p, filled)
 			var data []byte
+			var consumed func()
 			if fnData != nil {
 				data = fnData
+				recycled := fnData
+				consumed = func() { bufpool.Put(recycled) }
 			}
-			s.bufWrite(p, true, bufOff, filled, data)
+			s.bufWrite(p, true, bufOff, filled, data, consumed)
 			tracker.remaining++
 			pieces++
 			s.submit(p, slot, nvme.OpWrite, devAddr, bufOff, filled, true, done, tracker, nil, 0)
@@ -555,8 +583,7 @@ func (s *Streamer) retireLoop(p *sim.Proc) {
 		s.robRelease(slot)
 		s.cmdsRetired++
 		s.cqConsumed = (s.cqConsumed + 1) % s.cfg.QueueDepth
-		head := s.cqConsumed
-		s.port.Write(s.cqDoorbell, 4, []byte{byte(head), byte(head >> 8), byte(head >> 16), byte(head >> 24)}, nil)
+		s.ringDoorbell(s.cqDoorbell, uint32(s.cqConsumed))
 	}
 }
 
@@ -618,7 +645,10 @@ func (s *Streamer) drainAndSend(p *sim.Proc, it sendItem) {
 		issued += m
 		var buf []byte
 		if s.cfg.Functional {
-			buf = make([]byte, m)
+			// Pooled chunk; ownership passes to the ReadData consumer,
+			// which may recycle it (Client.ConsumeRead does) or let it
+			// age out to the garbage collector.
+			buf = bufpool.Get(int(m))
 		}
 		c := chunk{m: m, buf: buf, done: sim.NewChan[struct{}](s.k, 1)}
 		inflight = append(inflight, c)

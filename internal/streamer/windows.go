@@ -137,26 +137,40 @@ func (s *Streamer) bufPhys(isWrite bool, off int64) uint64 {
 // write is posted — the FSM moves on once the data has left its pipeline;
 // PCIe posted-write ordering guarantees the payload lands in host memory
 // before the doorbell (also a posted write on the same path) triggers the
-// controller's fetch.
-func (s *Streamer) bufWrite(p *sim.Proc, isWrite bool, off, n int64, data []byte) {
+// controller's fetch. consumed (optional) fires once data has been copied
+// out of the caller's slice and the slice may be recycled: immediately for
+// the local variants (WriteAccess copies at call time), and after the last
+// PCIe delivery for the host-DRAM variant (the port retains the payload
+// until its completer has consumed it).
+func (s *Streamer) bufWrite(p *sim.Proc, isWrite bool, off, n int64, data []byte, consumed func()) {
 	if s.cfg.Variant == HostDRAM {
 		buf := s.res.HostRead
 		if isWrite {
 			buf = s.res.HostWrite
 		}
+		runs := buf.Runs(off, n)
+		pending := len(runs)
 		var pos int64
-		for _, run := range buf.Runs(off, n) {
+		for _, run := range runs {
 			var d []byte
 			if data != nil {
 				d = data[pos : pos+run.Len]
 			}
 			pos += run.Len
-			s.port.Write(run.Phys, run.Len, d, nil)
+			s.port.Write(run.Phys, run.Len, d, func() {
+				pending--
+				if pending == 0 && consumed != nil {
+					consumed()
+				}
+			})
 		}
 		return
 	}
 	local := s.localOff(isWrite, off)
 	s.res.Local.WriteAccess(local, n, data, func() {})
+	if consumed != nil {
+		consumed()
+	}
 }
 
 // bufReadAsync drains n bytes from the payload buffer at off, invoking done
@@ -229,11 +243,10 @@ func (w *sqWindow) CompleteRead(addr uint64, n int64, buf []byte, done func()) {
 	if buf != nil {
 		for off := int64(0); off < n; off += nvme.SQESize {
 			idx := int((rel + off) / nvme.SQESize)
-			entry := s.sqRing[idx]
-			if entry == nil {
+			if !s.sqFilled[idx] {
 				panic(fmt.Sprintf("streamer: controller fetched empty SQ slot %d", idx))
 			}
-			copy(buf[off:off+nvme.SQESize], entry)
+			copy(buf[off:off+nvme.SQESize], s.sqRing[idx])
 		}
 	}
 	s.k.After(fifoReadLatency, done)
