@@ -1,16 +1,21 @@
 GO ?= go
 
-.PHONY: build test race vet bench perfreport
+.PHONY: build test race vet bench faults perfreport
 
 build:
 	$(GO) build ./...
 
-test:
+# The default test path vets first and includes the targeted race pass, so
+# `make test` alone gives the full tier-1 signal.
+test: vet
 	$(GO) test ./...
+	$(MAKE) race
 
-# Race-checks the worker pool and the kernel/buffer-pool hot paths it drives.
+# Race-checks the worker pool, the kernel/buffer-pool hot paths it drives,
+# and the fault-injection/recovery machinery.
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/sim/... ./internal/bufpool/...
+	$(GO) test -race ./internal/parallel/... ./internal/sim/... ./internal/bufpool/... ./internal/fault/...
+	$(GO) test -race -run 'Fault|Retry|Timeout|CQE' ./internal/streamer/
 	$(GO) test -race -run TestParallelDeterminism ./internal/bench/
 
 vet:
@@ -21,6 +26,12 @@ vet:
 bench:
 	$(GO) test -run XXX -bench BenchmarkKernel -benchmem ./internal/sim/
 	$(GO) test -run XXX -bench BenchmarkStreamerRead -benchmem ./internal/bench/
+
+# Fault-injection suite: recovery unit tests, accounting invariants, and the
+# goodput-vs-error-rate sweep.
+faults:
+	$(GO) test -run 'Fault|Retry|Timeout|CQE|InvalidCompletion' ./internal/fault/ ./internal/streamer/ ./internal/bench/ .
+	$(GO) run ./cmd/snaccbench -faults
 
 # Serial-vs-parallel suite wall time + kernel throughput -> BENCH_parallel.json
 perfreport:

@@ -10,6 +10,7 @@
 //	snaccbench -fig 6 -images 512 # case-study bandwidth
 //	snaccbench -fig 7             # case-study PCIe traffic
 //	snaccbench -ablation qd|ooo|multissd|gen5|dram
+//	snaccbench -faults            # fault-injection sweep (goodput vs error rate)
 //	snaccbench -all               # everything
 //	snaccbench -all -j 8          # shard independent rigs over 8 workers
 //	snaccbench -perfreport        # write BENCH_parallel.json
@@ -47,6 +48,7 @@ func main() {
 	timeline := flag.Bool("timeline", false, "sample write bandwidth over time (shows banding epochs)")
 	jobs := flag.Int("j", runtime.NumCPU(), "worker goroutines for independent experiment rigs (output is identical at any value)")
 	perfreport := flag.Bool("perfreport", false, "measure serial vs parallel suite wall time and kernel throughput, write BENCH_parallel.json")
+	faults := flag.Bool("faults", false, "run the NVMe fault-injection sweep (goodput and retry amplification vs error rate)")
 	flag.Parse()
 
 	bench.SetParallelism(*jobs)
@@ -133,6 +135,11 @@ func main() {
 		})
 	}
 
+	if *all || *faults {
+		run("fault-injection sweep", func() {
+			show(bench.RenderFaultSweep(bench.FaultSweep([]float64{0, 0.1, 1, 5}, size)))
+		})
+	}
 	if flagTimeline := *timeline; flagTimeline {
 		run("bandwidth timeline", func() {
 			pts := bench.Timeline(0, size, 2*sim.Millisecond)

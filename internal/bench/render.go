@@ -293,3 +293,27 @@ func RenderAblationQP(rows []AblationQPRow) Table {
 	}
 	return t
 }
+
+// RenderFaultSweep formats the fault-injection sweep.
+func RenderFaultSweep(rows []FaultSweepRow) Table {
+	t := Table{
+		Title:   "Fault sweep — URAM sequential read goodput vs injected NVMe error rate",
+		Columns: []string{"goodput GB/s", "inject", "errs", "retry", "tmo", "abort", "amp"},
+		Notes: []string{
+			"amp = commands submitted / retired (retry amplification); 1.00 means no resubmissions",
+			"invariant: inject == errs == retry + abort — no error completion is silently swallowed",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, TableRow{
+			Label: fmt.Sprintf("%.2f%%", r.RatePct),
+			Cells: []string{
+				gb(r.GoodputGB),
+				fmt.Sprintf("%d", r.Injected), fmt.Sprintf("%d", r.Errors),
+				fmt.Sprintf("%d", r.Retries), fmt.Sprintf("%d", r.Timeouts),
+				fmt.Sprintf("%d", r.Aborts), fmt.Sprintf("%.2f", r.Amplification),
+			},
+		})
+	}
+	return t
+}

@@ -1,0 +1,187 @@
+// Package fault is a deterministic, seed-driven fault injector for the
+// simulated NVMe device. Rules match commands by opcode and LBA range and
+// fire either probabilistically (driven by a seeded PRNG consumed in
+// simulation order, so runs replay exactly) or on every Nth match. Three
+// fault kinds cover the recovery paths the Streamer must survive: error
+// completions, lost completion entries, and late completion entries.
+//
+// The injector attaches to a device through two hooks: the pre-execution
+// fault injector (status faults) and the completion interceptor (CQE
+// faults). Everything downstream — the Streamer's watchdog, retry, and
+// abort machinery — sees only ordinary NVMe protocol traffic.
+package fault
+
+import (
+	"fmt"
+
+	"snacc/internal/nvme"
+	"snacc/internal/sim"
+)
+
+// OpAny matches every opcode in a Rule.
+const OpAny uint8 = 0xFF
+
+// Kind selects what a firing rule does to the matched command.
+type Kind uint8
+
+const (
+	// StatusError completes the command with Rule.Status instead of
+	// executing it; the media is never touched.
+	StatusError Kind = iota
+	// DropCQE executes the command but loses its completion entry — the
+	// reorder-buffer-head hang only a command-deadline watchdog can break.
+	DropCQE
+	// DelayCQE posts the completion entry Rule.Delay late. Delays longer
+	// than the host's command deadline race the watchdog and provoke
+	// stale completions for already-resubmitted commands.
+	DelayCQE
+	numKinds
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case StatusError:
+		return "status-error"
+	case DropCQE:
+		return "drop-cqe"
+	case DelayCQE:
+		return "delay-cqe"
+	default:
+		return fmt.Sprintf("fault.Kind(%d)", uint8(k))
+	}
+}
+
+// Rule describes one fault source. A command matches when its opcode and
+// starting LBA fall inside the rule's filters; a matching rule fires every
+// Nth match (Nth > 0) or with probability Probability per match, bounded by
+// Count total fires.
+type Rule struct {
+	// Name labels the rule in stats and logs.
+	Name string
+	Kind Kind
+	// Opcode restricts matching to one I/O opcode; OpAny matches all.
+	Opcode uint8
+	// LBAFirst/LBALast bound the matched starting-LBA range, inclusive.
+	// Leaving both zero matches every address.
+	LBAFirst, LBALast uint64
+	// Nth fires on every Nth matching command (1 = every match). When 0,
+	// Probability decides.
+	Nth int64
+	// Probability fires each matching command with this chance, drawn
+	// from the injector's seeded PRNG.
+	Probability float64
+	// Count caps total fires; 0 is unbounded.
+	Count int64
+	// Status is the completion status a StatusError rule injects.
+	Status uint16
+	// Delay is the extra completion latency a DelayCQE rule injects.
+	Delay sim.Time
+
+	seen, fired int64
+}
+
+// Seen returns how many commands matched the rule's filters.
+func (r *Rule) Seen() int64 { return r.seen }
+
+// Fired returns how many faults the rule injected.
+func (r *Rule) Fired() int64 { return r.fired }
+
+// Injector evaluates rules against the device's command stream.
+type Injector struct {
+	rng      *sim.Rand
+	rules    []*Rule
+	injected int64
+	byKind   [numKinds]int64
+}
+
+// NewInjector builds an injector whose probabilistic decisions replay
+// exactly for a given seed.
+func NewInjector(seed uint64) *Injector {
+	return &Injector{rng: sim.NewRand(seed)}
+}
+
+// Add registers a rule — rules are evaluated in registration order and the
+// first rule that fires wins — and returns the stored copy for stats
+// inspection.
+func (in *Injector) Add(r Rule) *Rule {
+	if r.Kind >= numKinds {
+		panic(fmt.Sprintf("fault: unknown kind %d", r.Kind))
+	}
+	if r.LBAFirst == 0 && r.LBALast == 0 {
+		r.LBALast = ^uint64(0)
+	}
+	rp := &r
+	in.rules = append(in.rules, rp)
+	return rp
+}
+
+// Injected returns the total faults fired across all rules.
+func (in *Injector) Injected() int64 { return in.injected }
+
+// InjectedByKind returns the faults fired of one kind.
+func (in *Injector) InjectedByKind(k Kind) int64 { return in.byKind[k] }
+
+// Attach wires the injector into a device: status faults intercept commands
+// before execution, CQE faults intercept completions before posting.
+func (in *Injector) Attach(dev *nvme.Device) {
+	dev.SetFaultInjector(in.ExecStatus)
+	dev.SetCQEInterceptor(in.CQEFate)
+}
+
+// ExecStatus is the pre-execution hook: the first firing StatusError rule
+// decides the command's completion status.
+func (in *Injector) ExecStatus(cmd nvme.Command) uint16 {
+	if r := in.fire(cmd, StatusError); r != nil {
+		return r.Status
+	}
+	return nvme.StatusSuccess
+}
+
+// CQEFate is the completion hook: DropCQE and DelayCQE rules decide whether
+// the completion entry is posted, lost, or posted late.
+func (in *Injector) CQEFate(cmd nvme.Command, status uint16) nvme.CQEFate {
+	if in.fire(cmd, DropCQE) != nil {
+		return nvme.CQEFate{Drop: true}
+	}
+	if r := in.fire(cmd, DelayCQE); r != nil {
+		return nvme.CQEFate{Delay: r.Delay}
+	}
+	return nvme.CQEFate{}
+}
+
+// fire returns the first rule of kind k that matches cmd and fires on it.
+func (in *Injector) fire(cmd nvme.Command, k Kind) *Rule {
+	for _, r := range in.rules {
+		if r.Kind != k || !r.matches(cmd) {
+			continue
+		}
+		r.seen++
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		hit := false
+		switch {
+		case r.Nth > 0:
+			hit = r.seen%r.Nth == 0
+		case r.Probability > 0:
+			hit = in.rng.Float64() < r.Probability
+		}
+		if !hit {
+			continue
+		}
+		r.fired++
+		in.injected++
+		in.byKind[k]++
+		return r
+	}
+	return nil
+}
+
+func (r *Rule) matches(cmd nvme.Command) bool {
+	if r.Opcode != OpAny && cmd.Opcode != r.Opcode {
+		return false
+	}
+	slba := cmd.SLBA()
+	return slba >= r.LBAFirst && slba <= r.LBALast
+}

@@ -139,9 +139,14 @@ type Device struct {
 	// faultInjector, when set, can force a failure status for an I/O
 	// command before execution (tests and failure-injection experiments).
 	faultInjector func(Command) uint16
+	// cqeInterceptor, when set, decides the fate of each I/O completion
+	// entry before it is posted (lost/late-CQE fault injection).
+	cqeInterceptor func(Command, uint16) CQEFate
 
 	// Stats and SMART accounting.
 	cmdsExecuted     int64
+	cqesDropped      int64
+	cqesDelayed      int64
 	errs             int64
 	errorCount       uint64
 	errorLog         []ErrorLogEntry
@@ -155,6 +160,30 @@ type Device struct {
 // SetFaultInjector installs fn; fn returning a non-success status fails the
 // command without touching media. Pass nil to clear.
 func (d *Device) SetFaultInjector(fn func(Command) uint16) { d.faultInjector = fn }
+
+// CQEFate is a completion interceptor's verdict on one completion entry.
+type CQEFate struct {
+	// Drop loses the completion: the command executes and is accounted,
+	// but its CQE is never posted — the host-side recovery (timeout
+	// watchdog) is the only way forward.
+	Drop bool
+	// Delay, when positive, postpones posting the CQE. Long delays race
+	// the host's command deadline and provoke stale completions for
+	// already-resubmitted commands.
+	Delay sim.Time
+}
+
+// SetCQEInterceptor installs fn, consulted once per I/O-queue completion
+// before the CQE is posted; admin completions are never intercepted. Pass
+// nil to clear. internal/fault uses this to model lost and delayed
+// completions.
+func (d *Device) SetCQEInterceptor(fn func(Command, uint16) CQEFate) { d.cqeInterceptor = fn }
+
+// CQEsDropped returns completions lost by the interceptor.
+func (d *Device) CQEsDropped() int64 { return d.cqesDropped }
+
+// CQEsDelayed returns completions posted late by the interceptor.
+func (d *Device) CQEsDelayed() int64 { return d.cqesDelayed }
 
 // New attaches a device to the fabric and maps its register BAR.
 func New(k *sim.Kernel, f *pcie.Fabric, cfg Config) *Device {
@@ -423,15 +452,45 @@ func (d *Device) dispatch(q *queuePair, cmd Command) {
 	})
 }
 
-// complete posts a CQE for cmd on q's completion queue and releases the
-// execution context.
+// complete finishes cmd: consult the CQE interceptor (fault injection),
+// then deliver the completion entry and release the execution context.
 func (d *Device) complete(q *queuePair, cmd Command, status uint16, dw0 uint32) {
+	if d.cqeInterceptor != nil && q.id != 0 {
+		fate := d.cqeInterceptor(cmd, status)
+		if fate.Drop || fate.Delay > 0 {
+			// The command itself executed: finalize its bookkeeping and
+			// free the execution context now — only CQE delivery is
+			// faulted. A dropped CQE consumes no CQ slot.
+			d.account(q, cmd, status)
+			d.execGate.release()
+			if fate.Drop {
+				d.cqesDropped++
+				return
+			}
+			d.cqesDelayed++
+			d.k.After(fate.Delay, func() { d.postCQE(q, cmd, status, dw0) })
+			return
+		}
+	}
+	d.deliver(q, cmd, status, dw0)
+}
+
+// deliver posts a CQE for cmd on q's completion queue and releases the
+// execution context.
+func (d *Device) deliver(q *queuePair, cmd Command, status uint16, dw0 uint32) {
 	if q.cqFull() {
 		// Stall until the host frees CQ space — posting now would
 		// overwrite an unacknowledged completion.
-		q.cqWait = append(q.cqWait, func() { d.complete(q, cmd, status, dw0) })
+		q.cqWait = append(q.cqWait, func() { d.deliver(q, cmd, status, dw0) })
 		return
 	}
+	d.account(q, cmd, status)
+	d.postCQE(q, cmd, status, dw0)
+	d.execGate.release()
+}
+
+// account finalizes a command's bookkeeping at completion-decision time.
+func (d *Device) account(q *queuePair, cmd Command, status uint16) {
 	if !q.debugOutstanding[cmd.CID] {
 		panic(fmt.Sprintf("nvme: double completion of CID %d on q%d", cmd.CID, q.id))
 	}
@@ -440,6 +499,16 @@ func (d *Device) complete(q *queuePair, cmd Command, status uint16, dw0 uint32) 
 	if status != StatusSuccess {
 		d.errs++
 		d.recordError(q, cmd, status)
+	}
+}
+
+// postCQE marshals and posts the completion entry (command bookkeeping
+// already done). A late-posted CQE that finds the CQ full waits for
+// head-doorbell space like any other completion.
+func (d *Device) postCQE(q *queuePair, cmd Command, status uint16, dw0 uint32) {
+	if q.cqFull() {
+		q.cqWait = append(q.cqWait, func() { d.postCQE(q, cmd, status, dw0) })
+		return
 	}
 	cqe := Completion{
 		DW0:    dw0,
@@ -460,7 +529,6 @@ func (d *Device) complete(q *queuePair, cmd Command, status uint16, dw0 uint32) 
 	cqeBuf := bufpool.Get(CQESize)
 	cqe.MarshalInto(cqeBuf)
 	d.port.Write(addr, CQESize, cqeBuf, func() { bufpool.Put(cqeBuf) })
-	d.execGate.release()
 }
 
 // callbackGate is a callback-style counting semaphore (same shape as the

@@ -45,14 +45,24 @@ const (
 
 // Status codes (generic status, SCT 0).
 const (
-	StatusSuccess          uint16 = 0x00
-	StatusInvalidOpcode    uint16 = 0x01
-	StatusInvalidField     uint16 = 0x02
-	StatusInternalError    uint16 = 0x06
-	StatusInvalidNSID      uint16 = 0x0B
-	StatusLBAOutOfRange    uint16 = 0x80
-	StatusCapacityExceeded uint16 = 0x81
+	StatusSuccess           uint16 = 0x00
+	StatusInvalidOpcode     uint16 = 0x01
+	StatusInvalidField      uint16 = 0x02
+	StatusDataTransferError uint16 = 0x04
+	StatusInternalError     uint16 = 0x06
+	StatusAbortRequested    uint16 = 0x07
+	StatusInvalidNSID       uint16 = 0x0B
+	StatusLBAOutOfRange     uint16 = 0x80
+	StatusCapacityExceeded  uint16 = 0x81
 )
+
+// RetryableStatus reports whether a command completed with this status may
+// be resubmitted: internal and data-transfer errors are transient
+// controller-side conditions worth retrying, while protocol violations and
+// range errors are deterministic — the retry would fail identically.
+func RetryableStatus(s uint16) bool {
+	return s == StatusInternalError || s == StatusDataTransferError
+}
 
 // Feature identifiers.
 const (

@@ -100,6 +100,28 @@ type Config struct {
 	OutOfOrder bool
 	// Functional moves real payload bytes end to end.
 	Functional bool
+	// CmdTimeout is the per-command completion deadline. When a command's
+	// completion has not arrived CmdTimeout after (re)submission, the
+	// watchdog fires: the command is resubmitted while retries remain,
+	// otherwise aborted to the PE with nvme.StatusAbortRequested. Zero
+	// disables the watchdog (the default) — a lost completion then hangs
+	// the reorder-buffer head forever, so enable it whenever completions
+	// can be lost. Must comfortably exceed the worst-case device latency,
+	// or a merely slow command is double-submitted.
+	CmdTimeout sim.Time
+	// MaxRetries bounds resubmissions per command for retryable failures
+	// (nvme.RetryableStatus errors and lost completions). Zero aborts on
+	// the first failure.
+	MaxRetries int
+	// RetryBackoff is the delay before the first resubmission, doubling
+	// with every further attempt (capped at 256x). Zero resubmits
+	// immediately.
+	RetryBackoff sim.Time
+}
+
+// recoveryEnabled reports whether the watchdog/retry machinery is active.
+func (c *Config) recoveryEnabled() bool {
+	return c.CmdTimeout > 0 || c.MaxRetries > 0
 }
 
 // DefaultConfig returns the paper's configuration for a variant.

@@ -54,6 +54,22 @@ func (c *Client) WaitWrite(p *sim.Proc) {
 	c.s.WriteResp.Recv(p)
 }
 
+// WaitWriteErr consumes one write-response token and surfaces the error
+// flag it carries when any piece of the write failed terminally.
+func (c *Client) WaitWriteErr(p *sim.Proc) error {
+	pkt := c.s.WriteResp.Recv(p)
+	if ce, ok := pkt.Meta.(CmdError); ok {
+		return ce
+	}
+	return nil
+}
+
+// WriteErr is Write returning the response token's error flag.
+func (c *Client) WriteErr(p *sim.Proc, addr uint64, n int64, data []byte) error {
+	c.WriteAsync(p, addr, n, data)
+	return c.WaitWriteErr(p)
+}
+
 // ReadAsync issues a read command without consuming the data.
 func (c *Client) ReadAsync(p *sim.Proc, addr uint64, n int64) {
 	c.s.ReadCmd.Send(p, axis.Packet{Meta: ReadRequest{Addr: addr, Len: n}})
@@ -61,11 +77,25 @@ func (c *Client) ReadAsync(p *sim.Proc, addr uint64, n int64) {
 
 // ConsumeRead drains packets for one read request (until TLAST) and
 // returns the total bytes and concatenated content (functional mode).
+// Stream error flags are ignored; use ConsumeReadErr to observe them.
 func (c *Client) ConsumeRead(p *sim.Proc) (int64, []byte) {
+	total, data, _ := c.ConsumeReadErr(p)
+	return total, data
+}
+
+// ConsumeReadErr drains packets for one read request (until TLAST) and
+// returns the delivered bytes, the concatenated content (functional mode),
+// and the first error flagged on the stream. Failed pieces deliver no
+// payload, so on error the byte count falls short of the request.
+func (c *Client) ConsumeReadErr(p *sim.Proc) (int64, []byte, error) {
 	var total int64
 	var data []byte
+	var err error
 	for {
 		pkt := c.s.ReadData.Recv(p)
+		if ce, ok := pkt.Meta.(CmdError); ok && err == nil {
+			err = ce
+		}
 		total += pkt.Bytes
 		if pkt.Data != nil {
 			data = append(data, pkt.Data...)
@@ -74,7 +104,7 @@ func (c *Client) ConsumeRead(p *sim.Proc) (int64, []byte) {
 			bufpool.Put(pkt.Data)
 		}
 		if pkt.Last {
-			return total, data
+			return total, data, err
 		}
 	}
 }
@@ -87,4 +117,15 @@ func (c *Client) Read(p *sim.Proc, addr uint64, n int64) []byte {
 		panic("streamer: read returned unexpected length")
 	}
 	return data
+}
+
+// ReadErr performs a blocking read of n bytes, surfacing stream error flags
+// instead of panicking on a short delivery.
+func (c *Client) ReadErr(p *sim.Proc, addr uint64, n int64) ([]byte, error) {
+	c.ReadAsync(p, addr, n)
+	got, data, err := c.ConsumeReadErr(p)
+	if err == nil && got != n {
+		panic("streamer: read returned unexpected length")
+	}
+	return data, err
 }

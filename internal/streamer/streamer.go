@@ -26,6 +26,36 @@ type WriteRequest struct {
 	Addr uint64
 }
 
+// CmdError is the side-band (TUSER) metadata flagging a failed command on
+// the PE-facing streams: a read piece that failed terminally delivers a
+// zero-byte packet carrying CmdError in place of its payload, and a write
+// response token carries CmdError when any piece of the write failed. It
+// implements error so PE-side helpers can surface the flag directly.
+type CmdError struct {
+	Status uint16 // final NVMe status (nvme.StatusAbortRequested for a timeout)
+	Addr   uint64 // device byte address of the failed piece
+	Len    int64  // length of the failed piece
+}
+
+func (e CmdError) Error() string {
+	return fmt.Sprintf("streamer: command at %#x+%d failed with NVMe status %#x", e.Addr, e.Len, e.Status)
+}
+
+// statusSeverity orders terminal statuses for the write-response token: any
+// error outranks success, and a fatal status outranks one classified as
+// transient. Ties keep the earliest failing piece, so the reported Addr/Len
+// stay deterministic.
+func statusSeverity(s uint16) int {
+	switch {
+	case s == nvme.StatusSuccess:
+		return 0
+	case nvme.RetryableStatus(s):
+		return 1
+	default:
+		return 2
+	}
+}
+
 // Streamer is one NVMe Streamer instance.
 type Streamer struct {
 	k    *sim.Kernel
@@ -74,6 +104,12 @@ type Streamer struct {
 	// drain latency pipelines across commands instead of throttling the
 	// retire FSM.
 	sendQ *sim.Chan[sendItem]
+	// retryQ feeds the recovery stage: slots whose command must be
+	// resubmitted after a retryable error or a completion timeout.
+	retryQ *sim.Chan[retryReq]
+	// cmdSeq stamps every (re)submission so stale watchdog timers and
+	// stale retry requests can be recognized and discarded.
+	cmdSeq uint64
 
 	// Payload buffers.
 	readRing  *byteRing
@@ -88,11 +124,15 @@ type Streamer struct {
 	retireFSM *sim.Server
 
 	// Stats.
-	cmdsSubmitted int64
-	cmdsRetired   int64
-	bytesToPE     int64
-	bytesFromPE   int64
-	errors        int64
+	cmdsSubmitted  int64
+	cmdsRetired    int64
+	bytesToPE      int64
+	bytesFromPE    int64
+	errors         int64
+	retries        int64
+	timeouts       int64
+	aborts         int64
+	protocolErrors int64
 	// Per-command submit→retire latency, by direction.
 	readLat  sim.Histogram
 	writeLat sim.Histogram
@@ -108,7 +148,18 @@ type robEntry struct {
 	done        bool
 	status      uint16
 	submittedAt sim.Time
-	wreq        *writeTracker
+	// Recovery state: the opcode and device address are kept so the SQE
+	// can be rebuilt on resubmission; seq invalidates stale watchdog
+	// timers and retry requests; hasCQE distinguishes a received error
+	// completion from a synthesized timeout abort (only the former
+	// consumed a CQ slot); timedOut marks a watchdog abort.
+	op       uint8
+	devAddr  uint64
+	attempts int
+	seq      uint64
+	hasCQE   bool
+	timedOut bool
+	wreq     *writeTracker
 	// rreq/piece sequence the split pieces of one PE read so the
 	// out-of-order configuration still streams data in order (§7: an
 	// out-of-order approach "must appropriately handle large transfers
@@ -125,10 +176,22 @@ type readTracker struct {
 
 // writeTracker groups the split pieces of one PE write. sawLast matters in
 // the out-of-order configuration, where the final piece may retire before
-// earlier ones.
+// earlier ones. status accumulates the worst NVMe status across pieces so
+// the response token cannot signal success when any piece failed.
 type writeTracker struct {
 	remaining int
 	sawLast   bool
+	status    uint16
+	failAddr  uint64
+	failLen   int64
+}
+
+// retryReq is one resubmission order for the recovery stage. seq pins the
+// submission generation the order belongs to — a slot that was rescued by a
+// late completion or already recycled is recognized and skipped.
+type retryReq struct {
+	slot int
+	seq  uint64
 }
 
 // New builds a streamer, wires its window sub-regions into the FPGA BAR
@@ -182,6 +245,10 @@ func New(k *sim.Kernel, cfg Config, res Resources, port *pcie.Port, router *pcie
 	k.Spawn(cfg.Name+".write", s.writeLoop)
 	s.retireProc = k.Spawn(cfg.Name+".retire", s.retireLoop)
 	k.Spawn(cfg.Name+".send", s.sendLoop)
+	if cfg.recoveryEnabled() {
+		s.retryQ = sim.NewChan[retryReq](k, cfg.QueueDepth)
+		k.Spawn(cfg.Name+".retry", s.retryLoop)
+	}
 	return s
 }
 
@@ -214,8 +281,26 @@ func (s *Streamer) BytesToPE() int64 { return s.bytesToPE }
 // BytesFromPE returns payload bytes received from the PE (writes).
 func (s *Streamer) BytesFromPE() int64 { return s.bytesFromPE }
 
-// CommandErrors returns commands retired with non-success NVMe status.
+// CommandErrors returns non-success completions received from the device,
+// before recovery — a retried-to-success command still counts its failed
+// attempts here.
 func (s *Streamer) CommandErrors() int64 { return s.errors }
+
+// CommandRetries returns resubmissions performed by the recovery stage.
+func (s *Streamer) CommandRetries() int64 { return s.retries }
+
+// CommandTimeouts returns watchdog deadline expiries (lost or overdue
+// completions).
+func (s *Streamer) CommandTimeouts() int64 { return s.timeouts }
+
+// CommandAborts returns commands abandoned after recovery was exhausted and
+// propagated to the PE as stream error flags.
+func (s *Streamer) CommandAborts() int64 { return s.aborts }
+
+// ProtocolErrors returns completion entries dropped as protocol violations
+// (invalid or duplicate CID) instead of crashing the rig — under fault
+// injection a resubmitted command's original completion may still arrive.
+func (s *Streamer) ProtocolErrors() int64 { return s.protocolErrors }
 
 // CommandLatencies returns the submit→retire latency distributions for
 // read and write NVMe commands — the device-level view beneath the
@@ -354,25 +439,49 @@ func (s *Streamer) submit(p *sim.Proc, slot int, op uint8, devAddr uint64, bufOf
 	e.bufOff = bufOff
 	e.length = n
 	e.last = last
+	e.op = op
+	e.devAddr = devAddr
+	e.attempts = 0
+	e.hasCQE = false
+	e.timedOut = false
 	e.wreq = wreq
 	e.rreq = rreq
 	e.piece = piece
+	s.encodeAndRing(slot)
+}
 
-	cmd := nvme.Command{Opcode: op, CID: uint16(slot), NSID: 1}
-	cmd.SetSLBA(devAddr / uint64(s.lbaSize))
-	cmd.SetNLB(uint32(n/s.lbaSize) - 1)
-	cmd.PRP1 = s.bufPhys(isWrite, bufOff)
+// encodeAndRing rebuilds the slot's SQE from its reorder-buffer entry,
+// pushes it into the SQ FIFO at the tail, rings the device doorbell, and
+// arms the completion watchdog. First submissions and recovery
+// resubmissions both pass through here.
+func (s *Streamer) encodeAndRing(slot int) {
+	e := &s.rob[slot]
+	e.done = false
+	e.hasCQE = false
+	e.timedOut = false
+	e.status = nvme.StatusSuccess
+	s.cmdSeq++
+	e.seq = s.cmdSeq
+
+	cmd := nvme.Command{Opcode: e.op, CID: uint16(slot), NSID: 1}
+	cmd.SetSLBA(e.devAddr / uint64(s.lbaSize))
+	cmd.SetNLB(uint32(e.length/s.lbaSize) - 1)
+	cmd.PRP1 = s.bufPhys(e.isWrite, e.bufOff)
 	switch {
-	case n <= nvme.PageSize:
-	case n <= 2*nvme.PageSize:
-		cmd.PRP2 = s.bufPhys(isWrite, bufOff+nvme.PageSize)
+	case e.length <= nvme.PageSize:
+	case e.length <= 2*nvme.PageSize:
+		cmd.PRP2 = s.bufPhys(e.isWrite, e.bufOff+nvme.PageSize)
 	default:
-		cmd.PRP2 = s.prpPointer(slot, isWrite, bufOff)
+		cmd.PRP2 = s.prpPointer(slot, e.isWrite, e.bufOff)
 	}
 	cmd.MarshalInto(s.sqRing[s.sqTail])
 	s.sqFilled[s.sqTail] = true
 	s.sqTail = (s.sqTail + 1) % s.cfg.QueueDepth
 	s.cmdsSubmitted++
+	if s.cfg.CmdTimeout > 0 {
+		seq := e.seq
+		s.k.After(s.cfg.CmdTimeout, func() { s.onDeadline(slot, seq) })
+	}
 	s.ringDoorbell(s.sqDoorbell, uint32(s.sqTail))
 }
 
@@ -491,18 +600,143 @@ func (s *Streamer) writeLoop(p *sim.Proc) {
 // onCQE is invoked by the CQ window completer when the device posts a
 // completion (arrow ⑤). Bits may set out of order; retirement stays in
 // order unless the OutOfOrder extension is on.
+//
+// A completion naming an idle or already-done slot is dropped and counted,
+// not fatal: NVMe hosts must tolerate spurious completions, and under fault
+// injection the original completion of a timed-out, resubmitted command can
+// legitimately arrive after the retry already resolved the slot.
 func (s *Streamer) onCQE(cqe nvme.Completion) {
 	slot := int(cqe.CID)
-	if slot < 0 || slot >= len(s.rob) || !s.rob[slot].used {
-		panic(fmt.Sprintf("streamer: completion for invalid slot %d", slot))
+	if slot < 0 || slot >= len(s.rob) || !s.rob[slot].used || s.rob[slot].done {
+		s.protocolErrors++
+		s.consumeCQE()
+		return
 	}
-	if s.rob[slot].done {
-		panic(fmt.Sprintf("streamer: duplicate completion for slot %d", slot))
+	e := &s.rob[slot]
+	e.done = true
+	e.hasCQE = true
+	e.status = cqe.Status
+	if cqe.Status != nvme.StatusSuccess {
+		s.errors++
 	}
-	s.rob[slot].done = true
-	s.rob[slot].status = cqe.Status
 	// Nudge the retire loop; extra signals coalesce in the 1-deep channel.
 	s.cqeSignal.TryPut(struct{}{})
+}
+
+// InjectCQE delivers a raw completion entry to the reorder buffer exactly
+// as the CQ window completer does — a hook for protocol-robustness tests.
+func (s *Streamer) InjectCQE(cqe nvme.Completion) { s.onCQE(cqe) }
+
+// consumeCQE advances the completion-queue head doorbell by one consumed
+// entry. Every completion the device actually posted must pass through here
+// exactly once — including protocol-error drops and error completions
+// absorbed by the retry path — or the device's CQ-occupancy accounting
+// drifts and completions stall on a phantom full queue. Timeout aborts
+// never had a completion and must not ring.
+func (s *Streamer) consumeCQE() {
+	s.cqConsumed = (s.cqConsumed + 1) % s.cfg.QueueDepth
+	s.ringDoorbell(s.cqDoorbell, uint32(s.cqConsumed))
+}
+
+// onDeadline is the watchdog: fired CmdTimeout after the (re)submission
+// stamped seq. A slot that was since completed or recycled is recognized by
+// the stale seq and ignored.
+func (s *Streamer) onDeadline(slot int, seq uint64) {
+	e := &s.rob[slot]
+	if !e.used || e.seq != seq || e.done {
+		return
+	}
+	s.timeouts++
+	if e.attempts < s.cfg.MaxRetries {
+		e.attempts++
+		// Invalidate the expired generation so a straggling completion
+		// for it is dropped as a protocol error rather than racing the
+		// resubmission.
+		s.cmdSeq++
+		e.seq = s.cmdSeq
+		if !s.retryQ.TryPut(retryReq{slot: slot, seq: e.seq}) {
+			panic("streamer: retry queue overflow")
+		}
+		return
+	}
+	// Recovery exhausted: synthesize an abort completion so the command
+	// retires through the normal path and the error reaches the PE. No
+	// CQE was received, so the CQ head doorbell must not advance.
+	e.done = true
+	e.timedOut = true
+	e.status = nvme.StatusAbortRequested
+	s.cqeSignal.TryPut(struct{}{})
+}
+
+// maybeRetry reschedules a slot whose command completed with a retryable
+// error. Reports whether the slot was handed to the recovery stage instead
+// of retiring.
+func (s *Streamer) maybeRetry(slot int) bool {
+	e := &s.rob[slot]
+	if e.status == nvme.StatusSuccess || e.timedOut {
+		return false
+	}
+	if !nvme.RetryableStatus(e.status) || e.attempts >= s.cfg.MaxRetries {
+		return false
+	}
+	e.attempts++
+	// The error completion is absorbed here: consume its CQ slot and
+	// clear the completion state before the command goes back out.
+	if e.hasCQE {
+		e.hasCQE = false
+		s.consumeCQE()
+	}
+	e.done = false
+	e.status = nvme.StatusSuccess
+	s.cmdSeq++
+	e.seq = s.cmdSeq
+	if !s.retryQ.TryPut(retryReq{slot: slot, seq: e.seq}) {
+		panic("streamer: retry queue overflow")
+	}
+	return true
+}
+
+// retryLoop is the recovery stage: it paces resubmissions with exponential
+// backoff and re-issues commands through the submission FSM. Orders whose
+// generation went stale — a late completion rescued the command while the
+// backoff ran — are skipped.
+func (s *Streamer) retryLoop(p *sim.Proc) {
+	p.SetDaemon(true)
+	stale := func(rq retryReq) bool {
+		e := &s.rob[rq.slot]
+		return !e.used || e.seq != rq.seq || e.done
+	}
+	for {
+		rq := s.retryQ.Get(p)
+		if stale(rq) {
+			continue
+		}
+		if d := s.backoff(s.rob[rq.slot].attempts); d > 0 {
+			p.Sleep(d)
+		}
+		if stale(rq) {
+			continue
+		}
+		occupy(p, s.submitFSM, s.cfg.SubmitOverhead)
+		if stale(rq) {
+			continue
+		}
+		s.retries++
+		s.encodeAndRing(rq.slot)
+	}
+}
+
+// backoff returns the delay before resubmission attempt n (n ≥ 1):
+// RetryBackoff doubling per attempt, capped at 256x.
+func (s *Streamer) backoff(attempt int) sim.Time {
+	if s.cfg.RetryBackoff <= 0 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift > 8 {
+		shift = 8
+	}
+	return s.cfg.RetryBackoff << shift
 }
 
 // nextRetirable returns a retirable slot, or -1. The out-of-order
@@ -541,6 +775,9 @@ func (s *Streamer) retireLoop(p *sim.Proc) {
 			s.cqeSignal.Get(p)
 			continue
 		}
+		if s.maybeRetry(slot) {
+			continue
+		}
 		e := s.rob[slot] // copy; robRelease clears the entry
 		if e.rreq != nil {
 			e.rreq.next++
@@ -554,16 +791,28 @@ func (s *Streamer) retireLoop(p *sim.Proc) {
 		}
 		occupy(p, s.retireFSM, cost)
 		if e.status != nvme.StatusSuccess {
-			s.errors++
+			s.aborts++
 		}
 		if e.isWrite && e.wreq != nil {
 			e.wreq.remaining--
 			if e.last {
 				e.wreq.sawLast = true
 			}
+			if statusSeverity(e.status) > statusSeverity(e.wreq.status) {
+				// The worst status seen across the write's pieces
+				// decides the response.
+				e.wreq.status = e.status
+				e.wreq.failAddr = e.devAddr
+				e.wreq.failLen = e.length
+			}
 			if e.wreq.remaining == 0 && e.wreq.sawLast {
-				// ⑥b: completion token for the whole PE write.
-				s.WriteResp.Send(p, axis.Packet{Last: true})
+				// ⑥b: completion token for the whole PE write, carrying
+				// the worst status seen across the write's pieces.
+				pkt := axis.Packet{Last: true}
+				if e.wreq.status != nvme.StatusSuccess {
+					pkt.Meta = CmdError{Status: e.wreq.status, Addr: e.wreq.failAddr, Len: e.wreq.failLen}
+				}
+				s.WriteResp.Send(p, pkt)
 			}
 		}
 		// Buffer release stays strictly FIFO: the send stage frees write
@@ -573,6 +822,8 @@ func (s *Streamer) retireLoop(p *sim.Proc) {
 			bufOff:  e.bufOff,
 			length:  e.length,
 			last:    e.last,
+			status:  e.status,
+			devAddr: e.devAddr,
 			readyAt: p.Now() + s.cfg.DrainLatency,
 		})
 		if e.isWrite {
@@ -580,10 +831,12 @@ func (s *Streamer) retireLoop(p *sim.Proc) {
 		} else {
 			s.readLat.Add(p.Now() - e.submittedAt)
 		}
+		hadCQE := e.hasCQE
 		s.robRelease(slot)
 		s.cmdsRetired++
-		s.cqConsumed = (s.cqConsumed + 1) % s.cfg.QueueDepth
-		s.ringDoorbell(s.cqDoorbell, uint32(s.cqConsumed))
+		if hadCQE {
+			s.consumeCQE()
+		}
 	}
 }
 
@@ -593,6 +846,8 @@ type sendItem struct {
 	bufOff  int64
 	length  int64
 	last    bool
+	status  uint16
+	devAddr uint64
 	readyAt sim.Time
 }
 
@@ -610,6 +865,17 @@ func (s *Streamer) sendLoop(p *sim.Proc) {
 		it := s.sendQ.Get(p)
 		if it.isWrite {
 			s.freeBuf(true, it.bufOff)
+			continue
+		}
+		if it.status != nvme.StatusSuccess {
+			// A failed read must not stream stale staging bytes as data:
+			// the PE gets a zero-byte packet flagged with CmdError in
+			// place of the payload, preserving TLAST framing.
+			s.ReadData.Send(p, axis.Packet{
+				Last: it.last,
+				Meta: CmdError{Status: it.status, Addr: it.devAddr, Len: it.length},
+			})
+			s.freeBuf(false, it.bufOff)
 			continue
 		}
 		s.drainAndSend(p, it)

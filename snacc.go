@@ -22,6 +22,7 @@ package snacc
 import (
 	"fmt"
 
+	"snacc/internal/fault"
 	"snacc/internal/fpga"
 	"snacc/internal/nvme"
 	"snacc/internal/pcie"
@@ -56,6 +57,34 @@ type Options struct {
 	// Seed makes otherwise-default stochastic models (NAND latency
 	// jitter) deterministic per run.
 	Seed uint64
+	// Faults, when non-nil, attaches a deterministic NVMe fault injector
+	// to the SSD and enables the Streamer's retry/timeout recovery.
+	Faults *FaultOptions
+}
+
+// FaultOptions configures seed-driven NVMe fault injection plus the
+// Streamer's recovery machinery. The zero value of each field selects a
+// sensible default, so enabling recovery without faults is just
+// Options{Faults: &FaultOptions{}}.
+type FaultOptions struct {
+	// Seed drives the injector's probability decisions. Default 1.
+	Seed uint64
+	// ReadErrorRate / WriteErrorRate are per-command probabilities of the
+	// device failing a read/write with a retryable data-transfer error.
+	ReadErrorRate  float64
+	WriteErrorRate float64
+	// CQELossRate is the per-completion probability of the CQE being
+	// dropped on the wire, exercising the watchdog path.
+	CQELossRate float64
+	// CmdTimeoutNs is the per-command watchdog deadline. Default 50 ms; it
+	// must comfortably exceed the device's worst-case completion latency.
+	CmdTimeoutNs int64
+	// MaxRetries bounds resubmissions per command. Default 3; use -1 to
+	// abort on the first failure.
+	MaxRetries int
+	// RetryBackoffNs is the base backoff before a resubmission, doubled
+	// per attempt. Default 10 µs.
+	RetryBackoffNs int64
 }
 
 // System is an assembled simulation: Alveo U280 + host + Samsung 990 PRO
@@ -63,11 +92,12 @@ type Options struct {
 // I/O queues created inside the Streamer window, IOMMU granted, doorbells
 // programmed).
 type System struct {
-	kernel *sim.Kernel
-	plat   *tapasco.Platform
-	dev    *nvme.Device
-	st     *streamer.Streamer
-	client *streamer.Client
+	kernel   *sim.Kernel
+	plat     *tapasco.Platform
+	dev      *nvme.Device
+	st       *streamer.Streamer
+	client   *streamer.Client
+	injector *fault.Injector // nil unless Options.Faults was set
 }
 
 // systemBARWindow is where enumeration places discovered device BARs.
@@ -95,7 +125,15 @@ func NewSystem(opts Options) (*System, error) {
 	if opts.QueueDepth > 0 {
 		stCfg.QueueDepth = opts.QueueDepth
 	}
+	if opts.Faults != nil {
+		applyFaultRecovery(&stCfg, opts.Faults)
+	}
 	st := pl.AddStreamer(stCfg)
+	var injector *fault.Injector
+	if opts.Faults != nil {
+		injector = buildInjector(opts.Faults)
+		injector.Attach(dev)
+	}
 	nvmes := pcie.FindByClass(pl.Fabric.Enumerate(systemBARWindow), pcie.ClassNVMe)
 	if len(nvmes) != 1 {
 		return nil, fmt.Errorf("snacc: enumeration found %d NVMe controllers, want 1", len(nvmes))
@@ -121,7 +159,53 @@ func NewSystem(opts Options) (*System, error) {
 	if !done {
 		return nil, fmt.Errorf("snacc: initialization stalled")
 	}
-	return &System{kernel: k, plat: pl, dev: dev, st: st, client: streamer.NewClient(st)}, nil
+	return &System{kernel: k, plat: pl, dev: dev, st: st,
+		client: streamer.NewClient(st), injector: injector}, nil
+}
+
+// applyFaultRecovery maps FaultOptions onto the Streamer's recovery knobs,
+// filling in the documented defaults.
+func applyFaultRecovery(cfg *streamer.Config, f *FaultOptions) {
+	cfg.CmdTimeout = 50 * sim.Millisecond
+	if f.CmdTimeoutNs > 0 {
+		cfg.CmdTimeout = sim.Time(f.CmdTimeoutNs)
+	}
+	switch {
+	case f.MaxRetries < 0:
+		cfg.MaxRetries = 0
+	case f.MaxRetries == 0:
+		cfg.MaxRetries = 3
+	default:
+		cfg.MaxRetries = f.MaxRetries
+	}
+	cfg.RetryBackoff = 10 * sim.Microsecond
+	if f.RetryBackoffNs > 0 {
+		cfg.RetryBackoff = sim.Time(f.RetryBackoffNs)
+	}
+}
+
+// buildInjector translates FaultOptions rates into injector rules.
+func buildInjector(f *FaultOptions) *fault.Injector {
+	seed := f.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	in := fault.NewInjector(seed)
+	if f.ReadErrorRate > 0 {
+		in.Add(fault.Rule{Name: "read-errors", Kind: fault.StatusError,
+			Opcode: nvme.OpRead, Probability: f.ReadErrorRate,
+			Status: nvme.StatusDataTransferError})
+	}
+	if f.WriteErrorRate > 0 {
+		in.Add(fault.Rule{Name: "write-errors", Kind: fault.StatusError,
+			Opcode: nvme.OpWrite, Probability: f.WriteErrorRate,
+			Status: nvme.StatusDataTransferError})
+	}
+	if f.CQELossRate > 0 {
+		in.Add(fault.Rule{Name: "cqe-loss", Kind: fault.DropCQE,
+			Opcode: fault.OpAny, Probability: f.CQELossRate})
+	}
+	return in
 }
 
 // MustNewSystem is NewSystem, panicking on error (examples, tests).
@@ -174,6 +258,19 @@ func (h *Handle) ReadTimed(addr uint64, n int64) {
 	h.sys.client.ConsumeRead(h.p)
 }
 
+// ReadErr is Read surfacing terminal NVMe errors (after the Streamer has
+// exhausted its retries) instead of panicking on the short delivery. The
+// returned data covers only the pieces that succeeded.
+func (h *Handle) ReadErr(addr uint64, n int64) ([]byte, error) {
+	return h.sys.client.ReadErr(h.p, addr, n)
+}
+
+// WriteErr is Write surfacing the worst terminal NVMe status across the
+// write's pieces via the response token's error flag.
+func (h *Handle) WriteErr(addr uint64, data []byte) error {
+	return h.sys.client.WriteErr(h.p, addr, int64(len(data)), data)
+}
+
 // Sleep advances this process by d nanoseconds of simulated time.
 func (h *Handle) Sleep(d int64) { h.p.Sleep(sim.Time(d)) }
 
@@ -183,6 +280,14 @@ type Stats struct {
 	CommandsSubmitted int64
 	CommandsRetired   int64
 	CommandErrors     int64
+	// Recovery accounting: bounded resubmissions, watchdog expirations,
+	// commands failed terminally, and malformed/duplicate completions.
+	CommandRetries  int64
+	CommandTimeouts int64
+	CommandAborts   int64
+	ProtocolErrors  int64
+	// FaultsInjected counts injector firings (0 without Options.Faults).
+	FaultsInjected int64
 	// Payload byte counters.
 	BytesToPE   int64
 	BytesFromPE int64
@@ -202,6 +307,11 @@ func (s *System) Stats() Stats {
 		CommandsSubmitted: s.st.CommandsSubmitted(),
 		CommandsRetired:   s.st.CommandsRetired(),
 		CommandErrors:     s.st.CommandErrors(),
+		CommandRetries:    s.st.CommandRetries(),
+		CommandTimeouts:   s.st.CommandTimeouts(),
+		CommandAborts:     s.st.CommandAborts(),
+		ProtocolErrors:    s.st.ProtocolErrors(),
+		FaultsInjected:    s.FaultsInjected(),
 		BytesToPE:         s.st.BytesToPE(),
 		BytesFromPE:       s.st.BytesFromPE(),
 		PCIeCardRx:        s.plat.Card.PayloadRx(),
@@ -210,6 +320,15 @@ func (s *System) Stats() Stats {
 		SimTime:           int64(s.kernel.Now()),
 		SimEvents:         s.kernel.EventsExecuted(),
 	}
+}
+
+// FaultsInjected returns the number of faults the injector has fired, or 0
+// when the system was built without Options.Faults.
+func (s *System) FaultsInjected() int64 {
+	if s.injector == nil {
+		return 0
+	}
+	return s.injector.Injected()
 }
 
 // Capacity returns the simulated SSD capacity in bytes.
