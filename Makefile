@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench faults perfreport
+.PHONY: build test race vet bench faults crash perfreport
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,11 @@ test: vet
 	$(MAKE) race
 
 # Race-checks the worker pool, the kernel/buffer-pool hot paths it drives,
-# and the fault-injection/recovery machinery.
+# and the fault-injection/recovery machinery (including the controller
+# crash-recovery ladder).
 race:
 	$(GO) test -race ./internal/parallel/... ./internal/sim/... ./internal/bufpool/... ./internal/fault/...
-	$(GO) test -race -run 'Fault|Retry|Timeout|CQE' ./internal/streamer/
+	$(GO) test -race -run 'Fault|Retry|Timeout|CQE|Crash|Breaker|Death|CFS|Degraded' ./internal/streamer/
 	$(GO) test -race -run TestParallelDeterminism ./internal/bench/
 
 vet:
@@ -32,6 +33,13 @@ bench:
 faults:
 	$(GO) test -run 'Fault|Retry|Timeout|CQE|InvalidCompletion' ./internal/fault/ ./internal/streamer/ ./internal/bench/ .
 	$(GO) run ./cmd/snaccbench -faults
+
+# Controller-crash suite: recovery-ladder unit tests (breaker, reset,
+# replay, degraded striping, crash data integrity) and the goodput/MTTR
+# sweep -> BENCH_crash.json
+crash:
+	$(GO) test -run 'Crash|Breaker|Death|CFS|Degraded|Removal' ./internal/nvme/ ./internal/streamer/ ./internal/bench/ .
+	$(GO) run ./cmd/snaccbench -crash
 
 # Serial-vs-parallel suite wall time + kernel throughput -> BENCH_parallel.json
 perfreport:

@@ -11,6 +11,7 @@
 //	snaccbench -fig 7             # case-study PCIe traffic
 //	snaccbench -ablation qd|ooo|multissd|gen5|dram
 //	snaccbench -faults            # fault-injection sweep (goodput vs error rate)
+//	snaccbench -crash             # controller-crash sweep (goodput + MTTR vs crash rate)
 //	snaccbench -all               # everything
 //	snaccbench -all -j 8          # shard independent rigs over 8 workers
 //	snaccbench -perfreport        # write BENCH_parallel.json
@@ -49,6 +50,7 @@ func main() {
 	jobs := flag.Int("j", runtime.NumCPU(), "worker goroutines for independent experiment rigs (output is identical at any value)")
 	perfreport := flag.Bool("perfreport", false, "measure serial vs parallel suite wall time and kernel throughput, write BENCH_parallel.json")
 	faults := flag.Bool("faults", false, "run the NVMe fault-injection sweep (goodput and retry amplification vs error rate)")
+	crash := flag.Bool("crash", false, "run the controller-crash sweep (goodput and MTTR vs crash rate), write BENCH_crash.json")
 	flag.Parse()
 
 	bench.SetParallelism(*jobs)
@@ -138,6 +140,21 @@ func main() {
 	if *all || *faults {
 		run("fault-injection sweep", func() {
 			show(bench.RenderFaultSweep(bench.FaultSweep([]float64{0, 0.1, 1, 5}, size)))
+		})
+	}
+	if *all || *crash {
+		run("controller-crash sweep", func() {
+			table := bench.RenderCrashSweep(bench.CrashSweep([]int64{0, 64, 16, 4}, size))
+			show(table)
+			if *crash {
+				pts := bench.CrashTimeline(16, size/4, 2*sim.Millisecond)
+				fmt.Println(bench.RenderTimeline("URAM, crash every 16 commands", pts, 8))
+				if err := os.WriteFile("BENCH_crash.json", []byte(table.JSON()+"\n"), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Println("wrote BENCH_crash.json")
+			}
 		})
 	}
 	if flagTimeline := *timeline; flagTimeline {

@@ -3,7 +3,9 @@
 // completion queues toward its own SSD, writing concurrently. Aggregate
 // bandwidth scales with the SSD count until the card's PCIe Gen3 x16 link
 // saturates near 15 GB/s — exactly the saturation behaviour §7 predicts
-// multi-SSD setups will exhibit (and mitigate with faster links).
+// multi-SSD setups will exhibit (and mitigate with faster links). The final
+// table shows degraded operation: a striped member surprise-removed
+// mid-stream fails only its own stripes while the survivors keep streaming.
 //
 //	go run ./examples/multissd
 package main
@@ -21,4 +23,7 @@ func main() {
 
 	fmt.Println("and the projected remedy, PCIe 5.0 SSDs (§7):")
 	fmt.Println(snacc.RenderAblationGen5(snacc.AblationGen5(0)))
+
+	fmt.Println("degraded operation: one member dies mid-stream, survivors keep streaming:")
+	fmt.Println(snacc.RenderStripedDegraded(snacc.StripedDegraded(3, 0)))
 }

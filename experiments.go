@@ -240,3 +240,25 @@ func AblationQueuePairs(counts []int, totalBytes int64) []AblationQPRow {
 
 // RenderAblationQueuePairs formats A9 rows.
 func RenderAblationQueuePairs(rows []AblationQPRow) RenderedTable { return bench.RenderAblationQP(rows) }
+
+// StripedDegradedRow summarizes a striped set losing one member mid-stream.
+type StripedDegradedRow = bench.StripedDegradedRow
+
+// StripedDegraded demonstrates degraded multi-SSD operation: a striped set
+// whose member 1 is surprise-removed mid-stream keeps streaming on the
+// survivors, failing only the dead member's stripes with attributed
+// errors.
+func StripedDegraded(members int, totalBytes int64) StripedDegradedRow {
+	if members <= 0 {
+		members = 3
+	}
+	if totalBytes <= 0 {
+		totalBytes = 48 * sim.MiB
+	}
+	return bench.StripedDegraded(members, totalBytes)
+}
+
+// RenderStripedDegraded formats the degraded-operation demo.
+func RenderStripedDegraded(r StripedDegradedRow) RenderedTable {
+	return bench.RenderStripedDegraded(r)
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"testing"
+
+	"snacc/internal/sim"
+)
+
+// TestCrashSweepBaselineRow pins the zero-rate row: no crash rule means a
+// cold recovery ladder and an ordinary sequential-read measurement.
+func TestCrashSweepBaselineRow(t *testing.T) {
+	r := CrashSweep([]int64{0}, 8*sim.MiB)[0]
+	if r.Crashes != 0 || r.Trips != 0 || r.Resets != 0 || r.Replayed != 0 || r.Aborts != 0 {
+		t.Errorf("baseline row has recovery activity: %+v", r)
+	}
+	if r.GoodputGB <= 0 {
+		t.Errorf("baseline goodput = %.3f GB/s, want > 0", r.GoodputGB)
+	}
+}
+
+// TestCrashSweepRecoversEveryWindow: with a working reset path, every
+// injected crash must resolve through reset-and-replay — full delivery, no
+// aborts — and cost measurable recovery time.
+func TestCrashSweepRecoversEveryWindow(t *testing.T) {
+	baseline := CrashSweep([]int64{0}, 32*sim.MiB)[0]
+	r := CrashSweep([]int64{8}, 32*sim.MiB)[0]
+	if r.Crashes == 0 || r.Trips == 0 {
+		t.Fatalf("crash-every-8 row crashed nothing: %+v", r)
+	}
+	if r.Resets != r.Trips {
+		t.Errorf("resets = %d for %d trips; a healthy reset path succeeds first try", r.Resets, r.Trips)
+	}
+	if r.Replayed == 0 {
+		t.Error("no in-flight commands replayed across crashes")
+	}
+	if r.Aborts != 0 {
+		t.Errorf("aborts = %d; recovery must replay every crashed window", r.Aborts)
+	}
+	if r.MTTRUs <= 0 {
+		t.Error("MTTR not accounted")
+	}
+	if r.GoodputGB <= 0 || r.GoodputGB >= baseline.GoodputGB {
+		t.Errorf("crash goodput = %.3f GB/s vs baseline %.3f; recovery episodes must cost bandwidth",
+			r.GoodputGB, baseline.GoodputGB)
+	}
+}
+
+// TestCrashTimelineShowsOutage: the sampled bandwidth must dip during
+// recovery episodes and run near full rate outside them. Recovery lasts
+// about one sample window, so an episode can straddle two windows — the
+// dip is pronounced but need not reach zero.
+func TestCrashTimelineShowsOutage(t *testing.T) {
+	pts := CrashTimeline(16, 32*sim.MiB, sim.Millisecond)
+	if len(pts) == 0 {
+		t.Fatal("timeline produced no samples")
+	}
+	min, max := pts[0].GBps, pts[0].GBps
+	for _, p := range pts {
+		if p.GBps < min {
+			min = p.GBps
+		}
+		if p.GBps > max {
+			max = p.GBps
+		}
+	}
+	if max <= 0 {
+		t.Fatal("timeline never saw traffic")
+	}
+	if min > max*0.85 {
+		t.Errorf("no outage dip visible: min %.2f GB/s vs max %.2f", min, max)
+	}
+}
+
+// TestStripedDegradedDemo pins the degraded-striping demo: member 1 dies,
+// its stripes fail, and exactly the survivors' bytes read back.
+func TestStripedDegradedDemo(t *testing.T) {
+	// 48 MiB across 3 members = 16 stripes each; member 1 is removed at its
+	// 8th completion, so some of its writes land but none of its reads do.
+	r := StripedDegraded(3, 48*sim.MiB)
+	if r.DeadMember != 1 {
+		t.Fatalf("dead member = %d, want 1", r.DeadMember)
+	}
+	if r.DegradedWrites == 0 || r.DegradedReads == 0 {
+		t.Errorf("degraded ops = %d wr / %d rd, want both > 0", r.DegradedWrites, r.DegradedReads)
+	}
+	if r.SurvivorBytes != 32*sim.MiB {
+		t.Errorf("survivor bytes = %d, want the two live members' 32 MiB", r.SurvivorBytes)
+	}
+	if r.WriteGB <= 0 {
+		t.Error("no write goodput recorded")
+	}
+}

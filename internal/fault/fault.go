@@ -35,6 +35,16 @@ const (
 	// than the host's command deadline race the watchdog and provoke
 	// stale completions for already-resubmitted commands.
 	DelayCQE
+	// CrashCtrl latches the controller fatal status (CSTS.CFS) at the
+	// matched command: the device stops fetching SQEs and posting CQEs
+	// until the host issues a controller reset.
+	CrashCtrl
+	// HangCtrl freezes the command engine for Rule.Delay at the matched
+	// command, then revives it — completions park rather than vanish.
+	HangCtrl
+	// RemoveCtrl surprise-removes the controller at the matched command:
+	// register reads float all-1s and no reset brings it back.
+	RemoveCtrl
 	numKinds
 )
 
@@ -47,6 +57,12 @@ func (k Kind) String() string {
 		return "drop-cqe"
 	case DelayCQE:
 		return "delay-cqe"
+	case CrashCtrl:
+		return "crash-ctrl"
+	case HangCtrl:
+		return "hang-ctrl"
+	case RemoveCtrl:
+		return "remove-ctrl"
 	default:
 		return fmt.Sprintf("fault.Kind(%d)", uint8(k))
 	}
@@ -123,10 +139,12 @@ func (in *Injector) Injected() int64 { return in.injected }
 func (in *Injector) InjectedByKind(k Kind) int64 { return in.byKind[k] }
 
 // Attach wires the injector into a device: status faults intercept commands
-// before execution, CQE faults intercept completions before posting.
+// before execution, CQE faults intercept completions before posting, and
+// controller faults crash/hang/remove the whole device at a chosen command.
 func (in *Injector) Attach(dev *nvme.Device) {
 	dev.SetFaultInjector(in.ExecStatus)
 	dev.SetCQEInterceptor(in.CQEFate)
+	dev.SetCtrlFaultInjector(in.CtrlFate)
 }
 
 // ExecStatus is the pre-execution hook: the first firing StatusError rule
@@ -148,6 +166,24 @@ func (in *Injector) CQEFate(cmd nvme.Command, status uint16) nvme.CQEFate {
 		return nvme.CQEFate{Delay: r.Delay}
 	}
 	return nvme.CQEFate{}
+}
+
+// CtrlFate is the controller-level hook, consulted once per I/O command as
+// it reaches completion (the device counts completions, not execution
+// starts, so a recurring crash rule always lets N-1 commands retire per
+// episode): RemoveCtrl outranks CrashCtrl outranks HangCtrl, since a
+// removed controller can do nothing else.
+func (in *Injector) CtrlFate(cmd nvme.Command) nvme.CtrlFault {
+	if in.fire(cmd, RemoveCtrl) != nil {
+		return nvme.CtrlFault{Remove: true}
+	}
+	if in.fire(cmd, CrashCtrl) != nil {
+		return nvme.CtrlFault{Crash: true}
+	}
+	if r := in.fire(cmd, HangCtrl); r != nil {
+		return nvme.CtrlFault{Hang: r.Delay}
+	}
+	return nvme.CtrlFault{}
 }
 
 // fire returns the first rule of kind k that matches cmd and fires on it.

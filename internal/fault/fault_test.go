@@ -144,6 +144,42 @@ func TestCQEFateRules(t *testing.T) {
 	}
 }
 
+func TestCtrlFateRules(t *testing.T) {
+	in := NewInjector(1)
+	in.Add(Rule{Name: "crash-3rd", Kind: CrashCtrl, Opcode: OpAny, Nth: 3, Count: 1})
+	in.Add(Rule{Name: "hang-5th", Kind: HangCtrl, Opcode: OpAny, Nth: 5, Count: 1,
+		Delay: 2 * sim.Millisecond})
+	var got []nvme.CtrlFault
+	for i := 0; i < 6; i++ {
+		got = append(got, in.CtrlFate(ioCmd(nvme.OpRead, uint64(i))))
+	}
+	for i, f := range got {
+		wantCrash := i == 2
+		// The crash firing at command 2 short-circuits the hook, so the
+		// hang rule never sees that command: its 5th match is command 5.
+		wantHang := sim.Time(0)
+		if i == 5 {
+			wantHang = 2 * sim.Millisecond
+		}
+		if f.Crash != wantCrash || f.Hang != wantHang || f.Remove {
+			t.Errorf("command %d fate = %+v", i, f)
+		}
+	}
+	if in.InjectedByKind(CrashCtrl) != 1 || in.InjectedByKind(HangCtrl) != 1 {
+		t.Errorf("by-kind = %d/%d, want 1/1",
+			in.InjectedByKind(CrashCtrl), in.InjectedByKind(HangCtrl))
+	}
+}
+
+func TestCtrlFateRemoveOutranksCrash(t *testing.T) {
+	in := NewInjector(1)
+	in.Add(Rule{Name: "crash", Kind: CrashCtrl, Opcode: OpAny, Nth: 1})
+	in.Add(Rule{Name: "remove", Kind: RemoveCtrl, Opcode: OpAny, Nth: 1})
+	if f := in.CtrlFate(ioCmd(nvme.OpRead, 0)); !f.Remove || f.Crash {
+		t.Errorf("fate = %+v, want remove to outrank crash", f)
+	}
+}
+
 // TestFirstFiringRuleWins: rules are evaluated in registration order and at
 // most one fault fires per command per hook.
 func TestFirstFiringRuleWins(t *testing.T) {

@@ -45,6 +45,9 @@ type Config struct {
 	SlowEpochReadPadding sim.Time
 	// ReadyDelay is the time between CC.EN and CSTS.RDY.
 	ReadyDelay sim.Time
+	// ShutdownDelay is the time between CC.SHN and CSTS.SHST reporting
+	// shutdown complete.
+	ShutdownDelay sim.Time
 	// Functional enables content movement (real bytes on the media); when
 	// false the device is timing-only for data payloads. Queue entries and
 	// PRP lists always carry real bytes.
@@ -75,6 +78,7 @@ func DefaultConfig(name string, barBase uint64) Config {
 		ExecContexts:         128,
 		SlowEpochReadPadding: 150 * sim.Nanosecond,
 		ReadyDelay:           50 * sim.Microsecond,
+		ShutdownDelay:        20 * sim.Microsecond,
 	}
 }
 
@@ -116,6 +120,38 @@ func (q *queuePair) pending() int {
 	return d
 }
 
+// CtrlMode is the controller's failure-model state.
+type CtrlMode uint8
+
+const (
+	// ModeHealthy is normal operation.
+	ModeHealthy CtrlMode = iota
+	// ModeCrashed means a fatal internal error latched CSTS.CFS: the
+	// controller stops fetching SQEs and posting CQEs until the host
+	// performs a controller reset (CC.EN 1→0→1).
+	ModeCrashed
+	// ModeHung means the command engine froze: fetches and completions
+	// park, but register accesses still work (so a reset can rescue a hung
+	// controller). Hangs revive on their own after a deadline.
+	ModeHung
+	// ModeRemoved is surprise removal: register reads float all-1s like a
+	// real PCIe master abort, writes vanish, and no reset can bring the
+	// device back.
+	ModeRemoved
+)
+
+// CtrlFault is a controller-level fault verdict for one command (see
+// SetCtrlFaultInjector).
+type CtrlFault struct {
+	// Crash latches CSTS.CFS at this command: a recoverable fatal error.
+	Crash bool
+	// Remove surprise-removes the controller at this command: permanent.
+	Remove bool
+	// Hang, when positive, freezes the command engine for this duration,
+	// then revives it.
+	Hang sim.Time
+}
+
 // Device is one simulated NVMe SSD attached to a PCIe fabric.
 type Device struct {
 	k    *sim.Kernel
@@ -136,17 +172,31 @@ type Device struct {
 	execGate     *callbackGate
 	frontEndBusy sim.Time
 
+	// Failure model.
+	mode        CtrlMode
+	fatalReason string
+	resetGen    uint64 // invalidates ready/shutdown timers across resets
+	hangGen     uint64 // invalidates stale revive timers
+	hungWait    []func() // completions parked while hung
+
 	// faultInjector, when set, can force a failure status for an I/O
 	// command before execution (tests and failure-injection experiments).
 	faultInjector func(Command) uint16
 	// cqeInterceptor, when set, decides the fate of each I/O completion
 	// entry before it is posted (lost/late-CQE fault injection).
 	cqeInterceptor func(Command, uint16) CQEFate
+	// ctrlInjector, when set, can crash, hang or remove the whole
+	// controller at a chosen I/O command.
+	ctrlInjector func(Command) CtrlFault
 
 	// Stats and SMART accounting.
 	cmdsExecuted     int64
 	cqesDropped      int64
 	cqesDelayed      int64
+	cqesLost         int64
+	ctrlCrashes      int64
+	ctrlHangs        int64
+	ctrlRemovals     int64
 	errs             int64
 	errorCount       uint64
 	errorLog         []ErrorLogEntry
@@ -179,11 +229,125 @@ type CQEFate struct {
 // completions.
 func (d *Device) SetCQEInterceptor(fn func(Command, uint16) CQEFate) { d.cqeInterceptor = fn }
 
+// SetCtrlFaultInjector installs fn, consulted once per I/O command before
+// execution; a non-zero CtrlFault crashes, hangs or removes the whole
+// controller at that command. Pass nil to clear. internal/fault uses this
+// for controller-level fault rules.
+func (d *Device) SetCtrlFaultInjector(fn func(Command) CtrlFault) { d.ctrlInjector = fn }
+
 // CQEsDropped returns completions lost by the interceptor.
 func (d *Device) CQEsDropped() int64 { return d.cqesDropped }
 
 // CQEsDelayed returns completions posted late by the interceptor.
 func (d *Device) CQEsDelayed() int64 { return d.cqesDelayed }
+
+// CQEsLost returns completions discarded because the controller crashed,
+// hung without reviving, was removed, or was reset while they were in
+// flight.
+func (d *Device) CQEsLost() int64 { return d.cqesLost }
+
+// Mode returns the controller's failure-model state.
+func (d *Device) Mode() CtrlMode { return d.mode }
+
+// FatalReason describes the most recent fatal-status latch ("" if none).
+func (d *Device) FatalReason() string { return d.fatalReason }
+
+// ControllerCrashes counts CSTS.CFS latches (injected or protocol-driven).
+func (d *Device) ControllerCrashes() int64 { return d.ctrlCrashes }
+
+// ControllerHangs counts injected command-engine hangs.
+func (d *Device) ControllerHangs() int64 { return d.ctrlHangs }
+
+// Crash latches the controller fatal status (CSTS.CFS): the device stops
+// fetching SQEs and posting CQEs until the host resets it.
+func (d *Device) Crash() { d.fatal("host-injected controller crash") }
+
+// Hang freezes the command engine for dur: fetched commands park their
+// completions and no new SQEs are fetched. The controller revives on its
+// own when dur elapses, unless it crashes or resets first.
+func (d *Device) Hang(dur sim.Time) {
+	if d.mode != ModeHealthy || dur <= 0 {
+		return
+	}
+	d.ctrlHangs++
+	d.mode = ModeHung
+	d.hangGen++
+	gen := d.hangGen
+	d.k.After(dur, func() { d.revive(gen) })
+}
+
+// Remove surprise-removes the device from the fabric: register reads float
+// all-1s, writes vanish, and the controller never comes back.
+func (d *Device) Remove() {
+	if d.mode == ModeRemoved {
+		return
+	}
+	d.ctrlRemovals++
+	d.mode = ModeRemoved
+	d.resetGen++
+	d.flushParked(d.queues)
+}
+
+// fatal latches CSTS.CFS and enters the crashed mode. Completions parked
+// during a hang are flushed through the discard path so their execution
+// contexts recycle.
+func (d *Device) fatal(reason string) {
+	if d.mode == ModeRemoved || d.mode == ModeCrashed {
+		return
+	}
+	d.ctrlCrashes++
+	d.fatalReason = reason
+	d.mode = ModeCrashed
+	d.csts |= CSTSFatal
+	d.resetGen++
+	d.flushParked(d.queues)
+}
+
+// revive ends a hang: parked completions flush and fetching resumes.
+func (d *Device) revive(gen uint64) {
+	if d.mode != ModeHung || gen != d.hangGen {
+		return
+	}
+	d.mode = ModeHealthy
+	w := d.hungWait
+	d.hungWait = nil
+	for _, fn := range w {
+		fn()
+	}
+	for _, q := range d.queues {
+		d.kick(q)
+	}
+}
+
+// flushParked re-invokes every parked completion closure after a mode or
+// queue-generation change. Each re-entry hits the discard path (the mode or
+// the stale-queue check), which releases the execution context the command
+// still holds — without this, repeated crashes leak exec contexts until the
+// controller wedges.
+func (d *Device) flushParked(old map[uint16]*queuePair) {
+	w := d.hungWait
+	d.hungWait = nil
+	for _, fn := range w {
+		fn()
+	}
+	for _, q := range old {
+		cw := q.cqWait
+		q.cqWait = nil
+		for _, fn := range cw {
+			fn()
+		}
+	}
+}
+
+// stale reports whether q belongs to a previous controller generation
+// (replaced or dropped by a reset). Completions for stale queues are
+// discarded — they must never land in a rebuilt queue's memory.
+func (d *Device) stale(q *queuePair) bool { return d.queues[q.id] != q }
+
+// fetchAllowed reports whether the controller currently fetches SQEs.
+func (d *Device) fetchAllowed() bool {
+	return d.mode == ModeHealthy && d.csts&CSTSShutdownMask == 0
+}
 
 // New attaches a device to the fabric and maps its register BAR.
 func New(k *sim.Kernel, f *pcie.Fabric, cfg Config) *Device {
@@ -281,10 +445,16 @@ func put64(b []byte, v uint64) {
 }
 
 func (d *Device) regWrite(off uint64, data []byte) {
+	if d.mode == ModeRemoved {
+		return // writes to a removed device vanish (master abort)
+	}
 	switch off {
 	case RegCC:
 		d.cc = le32(data)
-		if d.cc&CCEnable != 0 && d.csts&CSTSReady == 0 {
+		if d.cc&CCShutdownMask != 0 && d.csts&CSTSShutdownMask == 0 {
+			d.beginShutdown()
+		}
+		if d.cc&CCEnable != 0 && d.csts&CSTSReady == 0 && d.mode == ModeHealthy {
 			d.enable()
 		}
 		if d.cc&CCEnable == 0 {
@@ -297,11 +467,22 @@ func (d *Device) regWrite(off uint64, data []byte) {
 	case RegACQ:
 		d.acq = le64(data)
 	default:
-		panic(fmt.Sprintf("nvme: write to unmodeled register %#x", off))
+		// Unmodeled register: a real controller treats this as an
+		// unrecoverable protocol violation — latch the fatal status the
+		// host can observe instead of killing the simulation.
+		d.fatal(fmt.Sprintf("write to unmodeled register %#x", off))
 	}
 }
 
 func (d *Device) regRead(off uint64, buf []byte) {
+	if d.mode == ModeRemoved {
+		// A removed device aborts the read; the root complex returns
+		// all-1s, which is how hosts detect surprise removal.
+		for i := range buf {
+			buf[i] = 0xFF
+		}
+		return
+	}
 	switch off {
 	case RegCAP:
 		// MQES (max queue entries, 0-based) in bits 15:0; DSTRD 0; TO in
@@ -324,7 +505,11 @@ func (d *Device) regRead(off uint64, buf []byte) {
 		put32(tmp, d.csts)
 		copy(buf, tmp)
 	default:
-		panic(fmt.Sprintf("nvme: read of unmodeled register %#x", off))
+		// Unmodeled register: return zeros and latch the fatal status.
+		for i := range buf {
+			buf[i] = 0
+		}
+		d.fatal(fmt.Sprintf("read of unmodeled register %#x", off))
 	}
 }
 
@@ -338,12 +523,46 @@ func (d *Device) enable() {
 		entries: entries,
 		cqPhase: true,
 	}
-	d.k.After(d.cfg.ReadyDelay, func() { d.csts |= CSTSReady })
+	gen := d.resetGen
+	d.k.After(d.cfg.ReadyDelay, func() {
+		// A reset or crash between CC.EN and the ready deadline cancels
+		// the transition — ready must not reappear on a torn-down
+		// controller.
+		if gen == d.resetGen && d.mode == ModeHealthy {
+			d.csts |= CSTSReady
+		}
+	})
 }
 
+// reset is a controller reset (CC.EN 1→0): queues are torn down, the ready,
+// fatal and shutdown status bits clear, and a crashed or hung controller
+// returns to healthy. Completions still in flight against the old queues
+// flush through the stale-queue discard path.
 func (d *Device) reset() {
-	d.csts &^= CSTSReady
+	d.csts &^= CSTSReady | CSTSFatal | CSTSShutdownMask
+	d.resetGen++
+	old := d.queues
 	d.queues = make(map[uint16]*queuePair)
+	d.cqPendingMap = nil
+	if d.mode == ModeCrashed || d.mode == ModeHung {
+		d.mode = ModeHealthy
+		d.hangGen++ // cancel a pending revive
+	}
+	d.flushParked(old)
+}
+
+// beginShutdown runs the CC.SHN → CSTS.SHST handshake: the controller
+// reports shutdown-processing, stops fetching new commands, and reports
+// shutdown-complete after ShutdownDelay.
+func (d *Device) beginShutdown() {
+	d.csts = (d.csts &^ CSTSShutdownMask) | CSTSShutdownProcessing
+	gen := d.resetGen
+	d.k.After(d.cfg.ShutdownDelay, func() {
+		if gen != d.resetGen || d.csts&CSTSShutdownMask != CSTSShutdownProcessing {
+			return
+		}
+		d.csts = (d.csts &^ CSTSShutdownMask) | CSTSShutdownComplete
+	})
 }
 
 // doorbell decodes a doorbell write and kicks the affected queue.
@@ -351,16 +570,29 @@ func (d *Device) doorbell(off uint64, data []byte) {
 	if data == nil {
 		panic("nvme: doorbell write requires data")
 	}
+	if d.mode == ModeCrashed || d.mode == ModeRemoved {
+		return // dead ears: a crashed/removed controller ignores doorbells
+	}
+	if d.csts&CSTSReady == 0 {
+		// Rings racing a controller reset or bring-up (e.g. the host-side
+		// recovery retiring pre-crash completions mid-reset) are ignored,
+		// matching hardware: doorbells are undefined while disabled.
+		return
+	}
 	idx := (off - RegDoorbellBase) / 4
 	qid := uint16(idx / 2)
 	isCQ := idx%2 == 1
 	q, ok := d.queues[qid]
 	if !ok {
-		panic(fmt.Sprintf("nvme: doorbell for unknown queue %d", qid))
+		// Protocol violation by the host: latch the fatal status the host
+		// can observe rather than killing the simulation.
+		d.fatal(fmt.Sprintf("doorbell for unknown queue %d", qid))
+		return
 	}
 	val := int(le32(data))
 	if val < 0 || val >= q.entries {
-		panic(fmt.Sprintf("nvme: doorbell value %d out of range for %d-entry queue", val, q.entries))
+		d.fatal(fmt.Sprintf("doorbell value %d out of range for %d-entry queue", val, q.entries))
+		return
 	}
 	if isCQ {
 		q.cqHeadDB = val
@@ -384,6 +616,9 @@ var debugTrace func(what string, qid uint16, head, batch, tail int)
 // complete in issue order and q.sqHead — the value reported back to the
 // host in CQEs — advances in order too.
 func (d *Device) kick(q *queuePair) {
+	if !d.fetchAllowed() || d.stale(q) {
+		return
+	}
 	for q.fetches < d.cfg.MaxFetchReads {
 		pending := q.pending()
 		if pending == 0 {
@@ -409,6 +644,12 @@ func (d *Device) kick(q *queuePair) {
 		d.port.ReadCtrl(q.sqBase+uint64(fetchHead*SQESize), int64(len(buf)), buf, func() {
 			q.sqHead = (fetchHead + batch) % q.entries
 			q.fetches--
+			if d.mode == ModeCrashed || d.mode == ModeRemoved || d.stale(q) {
+				// The controller died (or was reset) while the fetch was
+				// on the wire: the entries are never dispatched.
+				bufpool.Put(buf)
+				return
+			}
 			for i := 0; i < batch; i++ {
 				cmd, err := UnmarshalCommand(buf[i*SQESize:])
 				if err != nil {
@@ -455,6 +696,31 @@ func (d *Device) dispatch(q *queuePair, cmd Command) {
 // complete finishes cmd: consult the CQE interceptor (fault injection),
 // then deliver the completion entry and release the execution context.
 func (d *Device) complete(q *queuePair, cmd Command, status uint16, dw0 uint32) {
+	if d.mode == ModeCrashed || d.mode == ModeRemoved || d.stale(q) {
+		d.discard(q, cmd)
+		return
+	}
+	if d.ctrlInjector != nil && q.id != 0 {
+		// Controller fates are counted per I/O completion (admin commands —
+		// including the recovery ladder's own queue rebuilds — are exempt).
+		// The crashed/removed command has already moved its data, so its
+		// lost completion is safe to replay; only the CQE is withheld.
+		f := d.ctrlInjector(cmd)
+		switch {
+		case f.Remove:
+			d.Remove()
+			d.discard(q, cmd)
+			return
+		case f.Crash:
+			d.fatal("injected controller crash")
+			d.discard(q, cmd)
+			return
+		case f.Hang > 0:
+			// The command itself executed; its completion (and every other
+			// in-flight one) parks until the engine revives.
+			d.Hang(f.Hang)
+		}
+	}
 	if d.cqeInterceptor != nil && q.id != 0 {
 		fate := d.cqeInterceptor(cmd, status)
 		if fate.Drop || fate.Delay > 0 {
@@ -475,9 +741,29 @@ func (d *Device) complete(q *queuePair, cmd Command, status uint16, dw0 uint32) 
 	d.deliver(q, cmd, status, dw0)
 }
 
+// discard drops a completion whose controller died (or whose queue was
+// torn down) while the command executed: the host never sees a CQE, but the
+// execution context recycles and the outstanding-CID record clears.
+func (d *Device) discard(q *queuePair, cmd Command) {
+	delete(q.debugOutstanding, cmd.CID)
+	d.cqesLost++
+	d.execGate.release()
+}
+
 // deliver posts a CQE for cmd on q's completion queue and releases the
 // execution context.
 func (d *Device) deliver(q *queuePair, cmd Command, status uint16, dw0 uint32) {
+	if d.mode == ModeCrashed || d.mode == ModeRemoved || d.stale(q) {
+		d.discard(q, cmd)
+		return
+	}
+	if d.mode == ModeHung {
+		// Frozen command engine: the completion parks (holding its
+		// execution context) until the controller revives, crashes or
+		// resets.
+		d.hungWait = append(d.hungWait, func() { d.deliver(q, cmd, status, dw0) })
+		return
+	}
 	if q.cqFull() {
 		// Stall until the host frees CQ space — posting now would
 		// overwrite an unacknowledged completion.
@@ -506,6 +792,14 @@ func (d *Device) account(q *queuePair, cmd Command, status uint16) {
 // already done). A late-posted CQE that finds the CQ full waits for
 // head-doorbell space like any other completion.
 func (d *Device) postCQE(q *queuePair, cmd Command, status uint16, dw0 uint32) {
+	if d.mode == ModeCrashed || d.mode == ModeRemoved || d.stale(q) {
+		d.cqesLost++ // bookkeeping already done; only the entry is lost
+		return
+	}
+	if d.mode == ModeHung {
+		d.hungWait = append(d.hungWait, func() { d.postCQE(q, cmd, status, dw0) })
+		return
+	}
 	if q.cqFull() {
 		q.cqWait = append(q.cqWait, func() { d.postCQE(q, cmd, status, dw0) })
 		return

@@ -16,7 +16,12 @@ type extent struct {
 	len  int64
 }
 
-// executeIO runs one I/O command to completion.
+// executeIO runs one I/O command to completion. Controller-level faults
+// (crash/hang/removal) are evaluated in complete(), not here: the device
+// overlaps up to ExecContexts executions, so an execution-start counter
+// could fire before ANY command of a replayed window retires and a
+// recurring crash rule would livelock the recovery ladder. Counting
+// completions guarantees N-1 commands survive each crash-every-N episode.
 func (d *Device) executeIO(q *queuePair, cmd Command) {
 	if cmd.PSDT != 0 {
 		// SGL data pointers are not implemented (nor used by SNAcc).

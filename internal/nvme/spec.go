@@ -240,12 +240,31 @@ const (
 // CC bits.
 const (
 	CCEnable uint32 = 1 << 0
+	// CC.SHN (bits 15:14): host-requested shutdown notification.
+	CCShutdownNormal uint32 = 1 << 14
+	CCShutdownAbrupt uint32 = 2 << 14
+	CCShutdownMask   uint32 = 3 << 14
 )
 
 // CSTS bits.
 const (
 	CSTSReady uint32 = 1 << 0
+	// CSTSFatal is CSTS.CFS, the controller fatal status: latched when the
+	// controller hits an unrecoverable internal error (including protocol
+	// violations on registers and doorbells). Only a controller reset
+	// (CC.EN 1→0) clears it.
+	CSTSFatal uint32 = 1 << 1
+	// CSTS.SHST (bits 3:2): shutdown handshake status.
+	CSTSShutdownProcessing uint32 = 1 << 2
+	CSTSShutdownComplete   uint32 = 2 << 2
+	CSTSShutdownMask       uint32 = 3 << 2
 )
+
+// StatusControllerUnavailable is a vendor-specific status the host-side
+// recovery synthesizes for commands it fails because the controller died
+// and could not be revived within the reset budget. It never appears on the
+// wire; like StatusAbortRequested it is terminal, not retryable.
+const StatusControllerUnavailable uint16 = 0xC0
 
 // BARSize is the register BAR size exposed by the model.
 const BARSize = 16 * 1024

@@ -117,11 +117,36 @@ type Config struct {
 	// with every further attempt (capped at 256x). Zero resubmits
 	// immediately.
 	RetryBackoff sim.Time
+	// BreakerThreshold trips the controller-failure circuit breaker after
+	// this many consecutive watchdog expiries with no intervening valid
+	// completion — per-command retries stop and the recovery ladder takes
+	// over: quiesce the PE streams, reset the controller (via the handler
+	// installed with SetResetHandler), rebuild the queues, and replay the
+	// in-flight window from the retained staging buffers. Zero disables the
+	// breaker (per-command retries only, PR 2 behavior).
+	BreakerThreshold int
+	// MaxResets bounds controller reset attempts per breaker trip. When
+	// they are exhausted (or no reset handler is installed) the controller
+	// is declared dead: every in-flight and future command fails fast with
+	// nvme.StatusControllerUnavailable — a terminal error flag on the
+	// streams, never a hang.
+	MaxResets int
+	// CFSPollInterval, when positive, polls the controller status register
+	// while commands are in flight and trips the breaker on a latched
+	// fatal status (CSTS.CFS) or an all-1s read (surprise removal) without
+	// waiting for CmdTimeout — the fast crash-detect path.
+	CFSPollInterval sim.Time
 }
 
 // recoveryEnabled reports whether the watchdog/retry machinery is active.
 func (c *Config) recoveryEnabled() bool {
-	return c.CmdTimeout > 0 || c.MaxRetries > 0
+	return c.CmdTimeout > 0 || c.MaxRetries > 0 || c.breakerEnabled()
+}
+
+// breakerEnabled reports whether the controller-failure circuit breaker is
+// active.
+func (c *Config) breakerEnabled() bool {
+	return c.BreakerThreshold > 0 || c.CFSPollInterval > 0
 }
 
 // DefaultConfig returns the paper's configuration for a variant.

@@ -77,6 +77,19 @@ type Streamer struct {
 	lbaSize    int64
 	configured bool
 
+	// Controller-failure circuit breaker (crash-recovery ladder). The
+	// breaker trips on BreakerThreshold consecutive watchdog expiries or a
+	// fatal CSTS poll; the breaker proc then quiesces submissions, resets
+	// the controller through resetFn, and replays the in-flight window.
+	breakerOpen    bool
+	dead           bool
+	consecTimeouts int
+	breakerSignal  *sim.Chan[struct{}]
+	breakerWaiters []*sim.Proc
+	resetFn        func(p *sim.Proc) error
+	cstsAddr       uint64 // controller status register bus address
+	cfsPollArmed   bool
+
 	// Submission queue: a FIFO inside the IP that the NVMe controller
 	// reads over PCIe (§4.2, arrow ②). Slots are preallocated out of one
 	// backing array and encoded in place — the NVMe ring discipline
@@ -133,6 +146,10 @@ type Streamer struct {
 	timeouts       int64
 	aborts         int64
 	protocolErrors int64
+	breakerTrips   int64
+	ctrlResets     int64
+	replayedCmds   int64
+	recoveryTime   sim.Time
 	// Per-command submit→retire latency, by direction.
 	readLat  sim.Histogram
 	writeLat sim.Histogram
@@ -249,6 +266,10 @@ func New(k *sim.Kernel, cfg Config, res Resources, port *pcie.Port, router *pcie
 		s.retryQ = sim.NewChan[retryReq](k, cfg.QueueDepth)
 		k.Spawn(cfg.Name+".retry", s.retryLoop)
 	}
+	if cfg.breakerEnabled() {
+		s.breakerSignal = sim.NewChan[struct{}](k, 1)
+		k.Spawn(cfg.Name+".breaker", s.breakerLoop)
+	}
 	return s
 }
 
@@ -260,6 +281,16 @@ func (s *Streamer) Configure(sqDoorbell, cqDoorbell uint64, lbaSize int64) {
 	s.lbaSize = lbaSize
 	s.configured = true
 }
+
+// ConfigureStatus programs the bus address of the device's controller
+// status register (CSTS), enabling the fast crash-detect poll.
+func (s *Streamer) ConfigureStatus(cstsAddr uint64) { s.cstsAddr = cstsAddr }
+
+// SetResetHandler installs the controller-reset rung of the recovery
+// ladder: fn must reset the controller and rebuild the admin + I/O queues
+// (tapasco.Driver.ResetAndReattach), returning an error when the device is
+// gone for good. It runs from the breaker's proc context.
+func (s *Streamer) SetResetHandler(fn func(p *sim.Proc) error) { s.resetFn = fn }
 
 // Config returns the streamer configuration.
 func (s *Streamer) Config() Config { return s.cfg }
@@ -301,6 +332,28 @@ func (s *Streamer) CommandAborts() int64 { return s.aborts }
 // (invalid or duplicate CID) instead of crashing the rig — under fault
 // injection a resubmitted command's original completion may still arrive.
 func (s *Streamer) ProtocolErrors() int64 { return s.protocolErrors }
+
+// BreakerTrips returns how many times the controller-failure circuit
+// breaker opened.
+func (s *Streamer) BreakerTrips() int64 { return s.breakerTrips }
+
+// ControllerResets returns controller reset attempts issued by the
+// recovery ladder.
+func (s *Streamer) ControllerResets() int64 { return s.ctrlResets }
+
+// CommandsReplayed returns in-flight commands resubmitted from the
+// retained staging buffers after a successful controller reset.
+func (s *Streamer) CommandsReplayed() int64 { return s.replayedCmds }
+
+// RecoveryTime returns total simulated time spent inside the recovery
+// ladder (breaker trip → replay complete or death); divide by BreakerTrips
+// for the mean time to recover.
+func (s *Streamer) RecoveryTime() sim.Time { return s.recoveryTime }
+
+// Dead reports whether the controller was declared permanently dead: the
+// reset budget was exhausted (or no reset handler exists). All in-flight
+// and future commands fail fast with nvme.StatusControllerUnavailable.
+func (s *Streamer) Dead() bool { return s.dead }
 
 // CommandLatencies returns the submit→retire latency distributions for
 // read and write NVMe commands — the device-level view beneath the
@@ -432,6 +485,9 @@ func (s *Streamer) submit(p *sim.Proc, slot int, op uint8, devAddr uint64, bufOf
 	if !s.configured {
 		panic("streamer: command before Configure (host initialization missing)")
 	}
+	// While the breaker holds the path quiesced the slot stays claimed but
+	// unused, so the replay pass (which walks used entries) skips it.
+	s.gateSubmit(p)
 	e := &s.rob[slot]
 	e.used = true
 	e.submittedAt = s.k.Now()
@@ -447,6 +503,16 @@ func (s *Streamer) submit(p *sim.Proc, slot int, op uint8, devAddr uint64, bufOf
 	e.wreq = wreq
 	e.rreq = rreq
 	e.piece = piece
+	if s.dead {
+		// Terminal controller death: fail fast with the synthesized status
+		// instead of ringing a dead doorbell — the command never goes on
+		// the wire, so no watchdog, no retry, no CQ slot.
+		e.done = true
+		e.timedOut = true
+		e.status = nvme.StatusControllerUnavailable
+		s.cqeSignal.TryPut(struct{}{})
+		return
+	}
 	s.encodeAndRing(slot)
 }
 
@@ -482,6 +548,7 @@ func (s *Streamer) encodeAndRing(slot int) {
 		seq := e.seq
 		s.k.After(s.cfg.CmdTimeout, func() { s.onDeadline(slot, seq) })
 	}
+	s.armCFSPoll()
 	s.ringDoorbell(s.sqDoorbell, uint32(s.sqTail))
 }
 
@@ -616,6 +683,9 @@ func (s *Streamer) onCQE(cqe nvme.Completion) {
 	e.done = true
 	e.hasCQE = true
 	e.status = cqe.Status
+	// Any valid completion proves the controller is alive: the breaker's
+	// consecutive-timeout count restarts.
+	s.consecTimeouts = 0
 	if cqe.Status != nvme.StatusSuccess {
 		s.errors++
 	}
@@ -635,6 +705,12 @@ func (s *Streamer) InjectCQE(cqe nvme.Completion) { s.onCQE(cqe) }
 // never had a completion and must not ring.
 func (s *Streamer) consumeCQE() {
 	s.cqConsumed = (s.cqConsumed + 1) % s.cfg.QueueDepth
+	if s.breakerOpen || s.dead {
+		// Mid-recovery the doorbell may hit a half-rebuilt (or absent)
+		// controller; the CQ head re-syncs to zero at replay, and a dead
+		// controller no longer counts occupancy at all.
+		return
+	}
 	s.ringDoorbell(s.cqDoorbell, uint32(s.cqConsumed))
 }
 
@@ -646,7 +722,19 @@ func (s *Streamer) onDeadline(slot int, seq uint64) {
 	if !e.used || e.seq != seq || e.done {
 		return
 	}
+	if s.dead || s.breakerOpen {
+		// The breaker owns recovery: individual watchdogs stand down, which
+		// is what bounds the per-command retry storm against a dead
+		// controller. Every in-flight slot is resolved by replay or by
+		// declareDead.
+		return
+	}
 	s.timeouts++
+	s.consecTimeouts++
+	if s.cfg.BreakerThreshold > 0 && s.consecTimeouts >= s.cfg.BreakerThreshold {
+		s.tripBreaker()
+		return
+	}
 	if e.attempts < s.cfg.MaxRetries {
 		e.attempts++
 		// Invalidate the expired generation so a straggling completion
@@ -673,7 +761,7 @@ func (s *Streamer) onDeadline(slot int, seq uint64) {
 // of retiring.
 func (s *Streamer) maybeRetry(slot int) bool {
 	e := &s.rob[slot]
-	if e.status == nvme.StatusSuccess || e.timedOut {
+	if e.status == nvme.StatusSuccess || e.timedOut || s.dead {
 		return false
 	}
 	if !nvme.RetryableStatus(e.status) || e.attempts >= s.cfg.MaxRetries {
@@ -714,7 +802,18 @@ func (s *Streamer) retryLoop(p *sim.Proc) {
 		if d := s.backoff(s.rob[rq.slot].attempts); d > 0 {
 			p.Sleep(d)
 		}
+		s.gateSubmit(p) // breaker quiesce
 		if stale(rq) {
+			continue
+		}
+		if s.dead {
+			// The controller died while the order waited: resolve the slot
+			// terminally instead of ringing a dead doorbell.
+			e := &s.rob[rq.slot]
+			e.done = true
+			e.timedOut = true
+			e.status = nvme.StatusControllerUnavailable
+			s.cqeSignal.TryPut(struct{}{})
 			continue
 		}
 		occupy(p, s.submitFSM, s.cfg.SubmitOverhead)
@@ -737,6 +836,159 @@ func (s *Streamer) backoff(attempt int) sim.Time {
 		shift = 8
 	}
 	return s.cfg.RetryBackoff << shift
+}
+
+// ---- controller-failure circuit breaker ----
+
+// gateSubmit parks p while the breaker holds the submission path quiesced.
+// A dead controller does not park: submissions proceed and fail fast.
+func (s *Streamer) gateSubmit(p *sim.Proc) {
+	for s.breakerOpen && !s.dead {
+		s.breakerWaiters = append(s.breakerWaiters, p)
+		p.Park()
+	}
+}
+
+// tripBreaker opens the breaker and wakes the recovery proc. Idempotent
+// while a recovery is already running.
+func (s *Streamer) tripBreaker() {
+	if s.breakerOpen || s.dead || s.breakerSignal == nil {
+		return
+	}
+	s.breakerOpen = true
+	s.breakerTrips++
+	s.breakerSignal.TryPut(struct{}{})
+}
+
+// breakerLoop runs the detect→quiesce→reset→replay ladder. It needs a proc
+// context because the reset handler issues blocking admin commands.
+func (s *Streamer) breakerLoop(p *sim.Proc) {
+	p.SetDaemon(true)
+	for {
+		s.breakerSignal.Get(p)
+		s.recoverCtrl(p)
+	}
+}
+
+// recoverCtrl is one recovery episode: reset the controller up to MaxResets
+// times; on success replay the in-flight window, otherwise declare the
+// controller dead. Either way the breaker closes and quiesced submitters
+// resume (failing fast when dead).
+func (s *Streamer) recoverCtrl(p *sim.Proc) {
+	start := p.Now()
+	ok := false
+	for attempt := 0; attempt < s.cfg.MaxResets && s.resetFn != nil; attempt++ {
+		s.ctrlResets++
+		if err := s.resetFn(p); err == nil {
+			ok = true
+			break
+		}
+	}
+	if ok {
+		s.replay(p)
+	} else {
+		s.declareDead()
+	}
+	s.recoveryTime += p.Now() - start
+	s.consecTimeouts = 0
+	s.breakerOpen = false
+	w := s.breakerWaiters
+	s.breakerWaiters = nil
+	for _, wp := range w {
+		wp.Wake()
+	}
+}
+
+// replay resubmits the retained in-flight window after a controller reset:
+// the rebuilt queues are empty, so the SQ FIFO restarts at slot 0 and the
+// CQ head returns to 0, and every not-yet-completed command is re-encoded
+// from its reorder-buffer entry — whose staging buffer is still allocated —
+// in original submission order, preserving in-order retirement across the
+// reset. Reads are simply reissued; writes reprogram the same LBAs from the
+// same staged bytes, which is idempotent. Commands that completed before
+// the crash keep their results and retire normally.
+func (s *Streamer) replay(p *sim.Proc) {
+	s.sqTail = 0
+	s.cqConsumed = 0
+	for _, slot := range s.inflightOrder() {
+		occupy(p, s.submitFSM, s.cfg.SubmitOverhead)
+		s.replayedCmds++
+		s.encodeAndRing(slot)
+	}
+}
+
+// inflightOrder lists the slots awaiting completion in their original
+// submission order: ring order from the reorder-buffer head in the in-order
+// configuration, slot order (== CID order of claiming) out of order.
+func (s *Streamer) inflightOrder() []int {
+	var order []int
+	if s.cfg.OutOfOrder {
+		for i := range s.rob {
+			if s.rob[i].used && !s.rob[i].done {
+				order = append(order, i)
+			}
+		}
+		return order
+	}
+	for i, idx := 0, s.robHead; i < s.cfg.QueueDepth; i++ {
+		if s.rob[idx].used && !s.rob[idx].done {
+			order = append(order, idx)
+		}
+		idx = (idx + 1) % s.cfg.QueueDepth
+	}
+	return order
+}
+
+// declareDead resolves every in-flight command with the terminal
+// controller-unavailable status. No CQE was received for them, so the CQ
+// doorbell must not advance; subsequent submissions fail fast in submit.
+func (s *Streamer) declareDead() {
+	s.dead = true
+	for i := range s.rob {
+		e := &s.rob[i]
+		if e.used && !e.done {
+			e.done = true
+			e.timedOut = true
+			e.status = nvme.StatusControllerUnavailable
+		}
+	}
+	s.cqeSignal.TryPut(struct{}{})
+}
+
+// armCFSPoll schedules the next controller-status poll. The poll is armed
+// from submission activity and re-arms itself only while commands remain in
+// flight, so an idle streamer schedules no recurring events and the kernel
+// still drains.
+func (s *Streamer) armCFSPoll() {
+	if s.cfg.CFSPollInterval <= 0 || s.cfsPollArmed || s.dead || s.cstsAddr == 0 {
+		return
+	}
+	s.cfsPollArmed = true
+	s.k.After(s.cfg.CFSPollInterval, s.cfsPoll)
+}
+
+// cfsPoll reads CSTS and trips the breaker on a latched fatal status or an
+// all-1s read (surprise removal) — crash detection without waiting out
+// CmdTimeout.
+func (s *Streamer) cfsPoll() {
+	s.cfsPollArmed = false
+	if s.dead || s.robLive == 0 {
+		return
+	}
+	if s.breakerOpen {
+		// Recovery in progress; resume polling afterwards.
+		s.armCFSPoll()
+		return
+	}
+	buf := bufpool.Get(4)
+	s.port.Read(s.cstsAddr, 4, buf, func() {
+		v := uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24
+		bufpool.Put(buf)
+		if v == ^uint32(0) || v&nvme.CSTSFatal != 0 {
+			s.tripBreaker()
+		}
+		s.armCFSPoll()
+	})
 }
 
 // nextRetirable returns a retirable slot, or -1. The out-of-order

@@ -23,8 +23,13 @@ type Striped struct {
 	// while independent Write calls pipeline across the set.
 	jobs []*sim.Chan[stripeJob]
 	// completions delivers one token per finished WriteAsync call, in
-	// issue order.
-	completions *sim.Chan[struct{}]
+	// issue order, carrying the worst member error (nil on clean writes).
+	completions *sim.Chan[error]
+
+	// Degraded-operation counters: stripes that failed terminally on a
+	// member while the rest of the set kept streaming.
+	degradedReads  int64
+	degradedWrites int64
 }
 
 // stripeJob is one member-run of a striped write.
@@ -35,9 +40,11 @@ type stripeJob struct {
 	tracker *stripeTracker
 }
 
-// stripeTracker counts a write call's outstanding runs.
+// stripeTracker counts a write call's outstanding runs and keeps the first
+// member error.
 type stripeTracker struct {
 	remaining int
+	err       error
 	s         *Striped
 }
 
@@ -54,7 +61,7 @@ func NewStriped(k *sim.Kernel, streamers []*Streamer, stripeBytes int64) *Stripe
 	s := &Striped{
 		k:           k,
 		stripeBytes: stripeBytes,
-		completions: sim.NewChan[struct{}](k, 1<<20),
+		completions: sim.NewChan[error](k, 1<<20),
 	}
 	for i, st := range streamers {
 		c := NewClient(st)
@@ -64,6 +71,7 @@ func NewStriped(k *sim.Kernel, streamers []*Streamer, stripeBytes int64) *Stripe
 		// Issue worker: pushes runs through the member's write stream in
 		// job order. Ack worker: pairs response tokens FIFO.
 		acks := sim.NewChan[*stripeTracker](k, 1<<20)
+		member := i
 		k.Spawn(fmt.Sprintf("stripe%d.issue", i), func(p *sim.Proc) {
 			p.SetDaemon(true)
 			for {
@@ -76,10 +84,17 @@ func NewStriped(k *sim.Kernel, streamers []*Streamer, stripeBytes int64) *Stripe
 			p.SetDaemon(true)
 			for {
 				tr := acks.Get(p)
-				c.WaitWrite(p)
+				// A dead member resolves its stripes with terminal errors
+				// rather than stalling the set: record, count, keep going.
+				if err := c.WaitWriteErr(p); err != nil {
+					s.degradedWrites++
+					if tr.err == nil {
+						tr.err = fmt.Errorf("striped member %d: %w", member, err)
+					}
+				}
 				tr.remaining--
 				if tr.remaining == 0 {
-					tr.s.completions.TryPut(struct{}{})
+					tr.s.completions.TryPut(tr.err)
 				}
 			}
 		})
@@ -162,9 +177,15 @@ func (s *Striped) WriteAsync(p *sim.Proc, addr uint64, n int64, data []byte) {
 }
 
 // WaitWrite blocks until one earlier WriteAsync call completes (tokens
-// arrive in issue order).
+// arrive in issue order), discarding any degraded-member error.
 func (s *Striped) WaitWrite(p *sim.Proc) {
 	s.completions.Get(p)
+}
+
+// WaitWriteErr blocks until one earlier WriteAsync call completes and
+// returns the first member error, nil when every stripe landed.
+func (s *Striped) WaitWriteErr(p *sim.Proc) error {
+	return s.completions.Get(p)
 }
 
 // Write is the blocking form: stripe, then wait for every member.
@@ -173,13 +194,35 @@ func (s *Striped) Write(p *sim.Proc, addr uint64, n int64, data []byte) {
 	s.WaitWrite(p)
 }
 
+// WriteErr is the blocking form with degraded-member errors surfaced.
+func (s *Striped) WriteErr(p *sim.Proc, addr uint64, n int64, data []byte) error {
+	s.WriteAsync(p, addr, n, data)
+	return s.WaitWriteErr(p)
+}
+
+// stripeReadResult is one member worker's outcome.
+type stripeReadResult struct {
+	functional bool
+	err        error
+}
+
 // Read returns n bytes from the consolidated address. Reads are not safe
 // to issue concurrently with each other (the data streams would demux
 // ambiguously); interleave them between Write/WaitWrite pairs instead.
+// Degraded-member errors are discarded; use ReadErr to observe them.
 func (s *Striped) Read(p *sim.Proc, addr uint64, n int64) []byte {
+	data, _ := s.ReadErr(p, addr, n)
+	return data
+}
+
+// ReadErr reads n bytes and surfaces degraded operation: a dead member
+// fails its stripes with a terminal error while the surviving members keep
+// streaming theirs. On error the returned buffer still holds the survivors'
+// bytes (the dead member's runs read as zero).
+func (s *Striped) ReadErr(p *sim.Proc, addr uint64, n int64) ([]byte, error) {
 	grouped := s.byMember(s.mapRange(addr, n))
 	out := make([]byte, n)
-	done := sim.NewChan[bool](s.k, len(s.clients))
+	done := sim.NewChan[stripeReadResult](s.k, len(s.clients))
 	active := 0
 	for member, runs := range grouped {
 		if len(runs) == 0 {
@@ -187,27 +230,60 @@ func (s *Striped) Read(p *sim.Proc, addr uint64, n int64) []byte {
 		}
 		active++
 		c := s.clients[member]
-		runs := runs
+		member, runs := member, runs
 		s.k.Spawn("stripe.r", func(rp *sim.Proc) {
-			functional := false
+			res := stripeReadResult{}
 			for _, r := range runs {
-				d := c.Read(rp, r.devAddr, r.n)
+				d, err := c.ReadErr(rp, r.devAddr, r.n)
+				if err != nil {
+					s.degradedReads++
+					if res.err == nil {
+						res.err = fmt.Errorf("striped member %d: %w", member, err)
+					}
+					continue
+				}
 				if d != nil {
-					functional = true
+					res.functional = true
 					copy(out[r.off:r.off+r.n], d)
 				}
 			}
-			done.TryPut(functional)
+			done.TryPut(res)
 		})
 	}
 	functional := false
+	var err error
 	for i := 0; i < active; i++ {
-		if done.Get(p) {
-			functional = true
+		res := done.Get(p)
+		functional = functional || res.functional
+		if err == nil {
+			err = res.err
 		}
 	}
 	if !functional {
-		return nil
+		return nil, err
 	}
-	return out
+	return out, err
 }
+
+// DegradedReads returns stripes whose member failed them terminally while
+// the rest of the set kept serving reads.
+func (s *Striped) DegradedReads() int64 { return s.degradedReads }
+
+// DegradedWrites returns stripes whose member failed them terminally while
+// the rest of the set kept serving writes.
+func (s *Striped) DegradedWrites() int64 { return s.degradedWrites }
+
+// DeadMembers lists the member indices whose controllers were declared
+// dead by the recovery ladder.
+func (s *Striped) DeadMembers() []int {
+	var dead []int
+	for i, c := range s.clients {
+		if c.Streamer().Dead() {
+			dead = append(dead, i)
+		}
+	}
+	return dead
+}
+
+// Member returns the client for one member streamer.
+func (s *Striped) Member(i int) *Client { return s.clients[i] }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"snacc/internal/fault"
 	"snacc/internal/nvme"
 	"snacc/internal/sim"
 	"snacc/internal/streamer"
@@ -12,8 +13,8 @@ import (
 )
 
 // stripedRig builds n SSD+streamer pairs consolidated into one address
-// space.
-func stripedRig(t *testing.T, n int, functional bool) (*sim.Kernel, *streamer.Striped, []*nvme.Device) {
+// space. An optional mutator adjusts every member's streamer config.
+func stripedRig(t *testing.T, n int, functional bool, mut ...func(*streamer.Config)) (*sim.Kernel, *streamer.Striped, []*nvme.Device) {
 	t.Helper()
 	k := sim.NewKernel()
 	pl := tapasco.NewPlatform(k, tapasco.DefaultU280())
@@ -28,6 +29,9 @@ func stripedRig(t *testing.T, n int, functional bool) (*sim.Kernel, *streamer.St
 		devs = append(devs, nvme.New(k, pl.Fabric, devCfg))
 		stCfg := streamer.DefaultConfig(fmt.Sprintf("snacc%d", i), 0, streamer.URAM)
 		stCfg.Functional = functional
+		for _, m := range mut {
+			m(&stCfg)
+		}
 		sts = append(sts, pl.AddStreamer(stCfg))
 		drvs = append(drvs, tapasco.NewDriver(pl, name, bar))
 	}
@@ -193,6 +197,60 @@ func TestStripedRandomizedIntegrity(t *testing.T) {
 	k.Run(0)
 	if failure != "" {
 		t.Fatal(failure)
+	}
+}
+
+// TestStripedDegradedOperation: when one member's controller dies
+// permanently, its stripes must fail with clear errors while the surviving
+// members keep streaming theirs — degraded multi-SSD operation, not an
+// all-stop.
+func TestStripedDegradedOperation(t *testing.T) {
+	k, s, devs := stripedRig(t, 3, true, func(cfg *streamer.Config) {
+		crashRecovery(cfg)
+		cfg.MaxResets = 0 // first trip is terminal: member death, not recovery
+	})
+	// Kill member 1 at its second command; members 0 and 2 stay healthy.
+	inj := fault.NewInjector(7)
+	inj.Add(fault.Rule{Name: "crash-m1", Kind: fault.CrashCtrl, Opcode: fault.OpAny,
+		Nth: 2, Count: 1})
+	inj.Attach(devs[1])
+	const span = 6 * sim.MiB // two 1 MiB stripes per member
+	want := make([]byte, span)
+	for i := range want {
+		want[i] = byte(i*13 + 7)
+	}
+	done := false
+	k.Spawn("app", func(p *sim.Proc) {
+		if err := s.WriteErr(p, 0, span, want); err == nil {
+			t.Error("write across a dying member reported no error")
+		}
+		got, err := s.ReadErr(p, 0, span)
+		if err == nil {
+			t.Error("read with a dead member reported no error")
+		}
+		// Survivors' stripes (members 0 and 2 own logical stripes 0, 2, 3, 5)
+		// must come back byte-exact; the dead member's stripes read as zero.
+		for _, stripe := range []int64{0, 2, 3, 5} {
+			lo, hi := stripe*sim.MiB, (stripe+1)*sim.MiB
+			if !bytes.Equal(got[lo:hi], want[lo:hi]) {
+				t.Errorf("surviving stripe %d corrupted in degraded read", stripe)
+			}
+		}
+		done = true
+	})
+	k.Run(0)
+	if !done {
+		t.Fatal("app never finished against a degraded set")
+	}
+	if dead := s.DeadMembers(); len(dead) != 1 || dead[0] != 1 {
+		t.Errorf("dead members = %v, want [1]", dead)
+	}
+	if s.DegradedWrites() == 0 || s.DegradedReads() == 0 {
+		t.Errorf("degraded writes/reads = %d/%d, want both > 0",
+			s.DegradedWrites(), s.DegradedReads())
+	}
+	if s.Member(1).Streamer().ControllerResets() != 0 {
+		t.Errorf("member 1 resets = %d with MaxResets = 0", s.Member(1).Streamer().ControllerResets())
 	}
 }
 

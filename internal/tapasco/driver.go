@@ -174,7 +174,103 @@ func (d *Driver) AttachStreamer(p *sim.Proc, st *streamer.Streamer, qid uint16) 
 	sqDB := d.bar + nvme.RegDoorbellBase + uint64(2*qid)*4
 	cqDB := d.bar + nvme.RegDoorbellBase + uint64(2*qid+1)*4
 	st.Configure(sqDB, cqDB, d.lbaSize)
+	// Wire the crash-recovery ladder: the Streamer polls CSTS for fatal
+	// status and, when its breaker trips, calls back into the driver to
+	// reset the controller and rebuild both queue levels.
+	st.ConfigureStatus(d.bar + nvme.RegCSTS)
+	st.SetResetHandler(func(p *sim.Proc) error {
+		return d.ResetAndReattach(p, st, qid)
+	})
 	return nil
+}
+
+// ResetController performs an NVMe controller-level reset after a crash:
+// disable the controller (CC.EN=0, which clears a latched CSTS.CFS), rebuild
+// the host-side admin queue state, reprogram the admin queue registers, and
+// re-enable. Namespace geometry is kept from InitController. Returns an
+// error when the controller stays fatal, never answers (surprise removal
+// floats all-1s), or never becomes ready again.
+func (d *Driver) ResetController(p *sim.Proc) error {
+	h := d.pl.Host
+	h.Port.WriteB(p, d.bar+nvme.RegCC, 4, le32b(0))
+	for i := 0; ; i++ {
+		buf := make([]byte, 4)
+		h.Port.ReadB(p, d.bar+nvme.RegCSTS, 4, buf)
+		v := le32(buf)
+		if v == ^uint32(0) {
+			return fmt.Errorf("tapasco: controller absent (CSTS floats all-1s)")
+		}
+		if v&(nvme.CSTSReady|nvme.CSTSFatal) == 0 {
+			break
+		}
+		if i > 1000 {
+			return fmt.Errorf("tapasco: controller never left ready/fatal state (CSTS %#x)", v)
+		}
+		p.Sleep(10 * sim.Microsecond)
+	}
+	// Discard stale admin state: any in-flight admin commands died with the
+	// old controller generation, and the completion ring restarts at phase 1
+	// — zero it so leftover entries cannot alias the new phase.
+	d.sqTail, d.cqHead, d.phase = 0, 0, true
+	d.pending = make(map[uint16]func(nvme.Completion))
+	h.Mem.Store().WriteBytes(d.hostOff(d.acq), make([]byte, adminDepth*nvme.CQESize))
+	h.Port.WriteB(p, d.bar+nvme.RegAQA, 4, le32b(uint32(adminDepth-1)|uint32(adminDepth-1)<<16))
+	h.Port.WriteB(p, d.bar+nvme.RegASQ, 8, le64b(d.asq))
+	h.Port.WriteB(p, d.bar+nvme.RegACQ, 8, le64b(d.acq))
+	h.Port.WriteB(p, d.bar+nvme.RegCC, 4, le32b(nvme.CCEnable))
+	for i := 0; ; i++ {
+		buf := make([]byte, 4)
+		h.Port.ReadB(p, d.bar+nvme.RegCSTS, 4, buf)
+		v := le32(buf)
+		if v == ^uint32(0) {
+			return fmt.Errorf("tapasco: controller absent (CSTS floats all-1s)")
+		}
+		if v&nvme.CSTSReady != 0 {
+			break
+		}
+		if i > 1000 {
+			return fmt.Errorf("tapasco: controller never became ready after reset")
+		}
+		p.Sleep(10 * sim.Microsecond)
+	}
+	return nil
+}
+
+// ReattachQueues recreates I/O queue pair qid at the Streamer's existing
+// window addresses after a controller reset. IOMMU grants and the Streamer's
+// doorbell programming from AttachStreamer are still valid; re-running
+// Configure only refreshes them idempotently.
+func (d *Driver) ReattachQueues(p *sim.Proc, st *streamer.Streamer, qid uint16) error {
+	depth := st.Config().QueueDepth
+	if _, err := d.adminCmd(p, nvme.Command{
+		Opcode: nvme.OpCreateIOCQ,
+		PRP1:   st.CQBusAddr(),
+		CDW10:  uint32(qid) | uint32(depth-1)<<16,
+		CDW11:  1,
+	}); err != nil {
+		return fmt.Errorf("re-create IOCQ: %w", err)
+	}
+	if _, err := d.adminCmd(p, nvme.Command{
+		Opcode: nvme.OpCreateIOSQ,
+		PRP1:   st.SQBusAddr(),
+		CDW10:  uint32(qid) | uint32(depth-1)<<16,
+		CDW11:  1 | uint32(qid)<<16,
+	}); err != nil {
+		return fmt.Errorf("re-create IOSQ: %w", err)
+	}
+	sqDB := d.bar + nvme.RegDoorbellBase + uint64(2*qid)*4
+	cqDB := d.bar + nvme.RegDoorbellBase + uint64(2*qid+1)*4
+	st.Configure(sqDB, cqDB, d.lbaSize)
+	return nil
+}
+
+// ResetAndReattach is the full recovery sequence the Streamer's circuit
+// breaker invokes: controller reset followed by I/O queue rebuild.
+func (d *Driver) ResetAndReattach(p *sim.Proc, st *streamer.Streamer, qid uint16) error {
+	if err := d.ResetController(p); err != nil {
+		return err
+	}
+	return d.ReattachQueues(p, st, qid)
 }
 
 // Little-endian helpers.

@@ -85,6 +85,50 @@ type FaultOptions struct {
 	// RetryBackoffNs is the base backoff before a resubmission, doubled
 	// per attempt. Default 10 µs.
 	RetryBackoffNs int64
+
+	// Controller-level failure injection. Any of the three enables the
+	// Streamer's crash-recovery ladder (circuit breaker, controller reset,
+	// in-flight replay) alongside the per-command machinery above.
+
+	// CrashEveryNCmds crashes the controller (latches CSTS.CFS, stops
+	// fetching and completing) as every Nth I/O command reaches
+	// completion; the crashed command's data has moved but its CQE is
+	// withheld, so replay is idempotent. Values below 2 are rejected: a
+	// controller that dies at every command can never retire one, so the
+	// workload could not make progress.
+	CrashEveryNCmds int64
+	// HangAtCommand freezes the command engine as the Nth I/O command
+	// completes, for HangDurationNs, then revives it. Fires once.
+	HangAtCommand int64
+	// HangDurationNs is the hang length. Default 5 ms.
+	HangDurationNs int64
+	// RemoveAtCommand surprise-removes the controller at the Nth I/O
+	// completion: registers float all-1s and no reset revives it. Fires
+	// once.
+	RemoveAtCommand int64
+
+	// Recovery-ladder knobs (apply when any controller fault above is set,
+	// or when explicitly non-zero).
+
+	// CrashDetectTimeoutNs is the controller-status poll interval — how
+	// quickly a latched fatal status or a removal is noticed without
+	// waiting out the command deadline. Default 1 ms.
+	CrashDetectTimeoutNs int64
+	// BreakerThreshold is the consecutive-timeout count that trips the
+	// circuit breaker. Default 2.
+	BreakerThreshold int
+	// MaxResets bounds controller reset attempts per breaker trip before
+	// the controller is declared dead. Default 2; use -1 for 0 (any trip
+	// is terminal).
+	MaxResets int
+}
+
+// wantsBreaker reports whether the options ask for the crash-recovery
+// ladder — either by injecting controller-level faults or by setting one of
+// its knobs explicitly.
+func (f *FaultOptions) wantsBreaker() bool {
+	return f.CrashEveryNCmds > 0 || f.HangAtCommand > 0 || f.RemoveAtCommand > 0 ||
+		f.CrashDetectTimeoutNs > 0 || f.BreakerThreshold > 0 || f.MaxResets != 0
 }
 
 // System is an assembled simulation: Alveo U280 + host + Samsung 990 PRO
@@ -110,6 +154,9 @@ func NewSystem(opts Options) (*System, error) {
 	functional := true
 	if opts.Functional != nil {
 		functional = *opts.Functional
+	}
+	if opts.Faults != nil && opts.Faults.CrashEveryNCmds == 1 {
+		return nil, fmt.Errorf("snacc: CrashEveryNCmds must be >= 2 (a controller that crashes at every command never completes one)")
 	}
 	k := sim.NewKernel()
 	pl := tapasco.NewPlatform(k, tapasco.DefaultU280())
@@ -182,6 +229,25 @@ func applyFaultRecovery(cfg *streamer.Config, f *FaultOptions) {
 	if f.RetryBackoffNs > 0 {
 		cfg.RetryBackoff = sim.Time(f.RetryBackoffNs)
 	}
+	if !f.wantsBreaker() {
+		return
+	}
+	cfg.BreakerThreshold = 2
+	if f.BreakerThreshold > 0 {
+		cfg.BreakerThreshold = f.BreakerThreshold
+	}
+	switch {
+	case f.MaxResets < 0:
+		cfg.MaxResets = 0
+	case f.MaxResets == 0:
+		cfg.MaxResets = 2
+	default:
+		cfg.MaxResets = f.MaxResets
+	}
+	cfg.CFSPollInterval = sim.Millisecond
+	if f.CrashDetectTimeoutNs > 0 {
+		cfg.CFSPollInterval = sim.Time(f.CrashDetectTimeoutNs)
+	}
 }
 
 // buildInjector translates FaultOptions rates into injector rules.
@@ -204,6 +270,22 @@ func buildInjector(f *FaultOptions) *fault.Injector {
 	if f.CQELossRate > 0 {
 		in.Add(fault.Rule{Name: "cqe-loss", Kind: fault.DropCQE,
 			Opcode: fault.OpAny, Probability: f.CQELossRate})
+	}
+	if f.CrashEveryNCmds > 0 {
+		in.Add(fault.Rule{Name: "ctrl-crash", Kind: fault.CrashCtrl,
+			Opcode: fault.OpAny, Nth: f.CrashEveryNCmds})
+	}
+	if f.HangAtCommand > 0 {
+		hang := 5 * sim.Millisecond
+		if f.HangDurationNs > 0 {
+			hang = sim.Time(f.HangDurationNs)
+		}
+		in.Add(fault.Rule{Name: "ctrl-hang", Kind: fault.HangCtrl,
+			Opcode: fault.OpAny, Nth: f.HangAtCommand, Count: 1, Delay: hang})
+	}
+	if f.RemoveAtCommand > 0 {
+		in.Add(fault.Rule{Name: "ctrl-remove", Kind: fault.RemoveCtrl,
+			Opcode: fault.OpAny, Nth: f.RemoveAtCommand, Count: 1})
 	}
 	return in
 }
@@ -288,6 +370,15 @@ type Stats struct {
 	ProtocolErrors  int64
 	// FaultsInjected counts injector firings (0 without Options.Faults).
 	FaultsInjected int64
+	// Crash-recovery ladder accounting: breaker trips, controller resets
+	// issued, in-flight commands replayed after a reset, cumulative
+	// nanoseconds from breaker trip to resumed submission, and whether the
+	// controller was declared dead.
+	BreakerTrips     int64
+	ControllerResets int64
+	CommandsReplayed int64
+	RecoveryTimeNs   int64
+	ControllerDead   bool
 	// Payload byte counters.
 	BytesToPE   int64
 	BytesFromPE int64
@@ -312,6 +403,11 @@ func (s *System) Stats() Stats {
 		CommandAborts:     s.st.CommandAborts(),
 		ProtocolErrors:    s.st.ProtocolErrors(),
 		FaultsInjected:    s.FaultsInjected(),
+		BreakerTrips:      s.st.BreakerTrips(),
+		ControllerResets:  s.st.ControllerResets(),
+		CommandsReplayed:  s.st.CommandsReplayed(),
+		RecoveryTimeNs:    int64(s.st.RecoveryTime()),
+		ControllerDead:    s.st.Dead(),
 		BytesToPE:         s.st.BytesToPE(),
 		BytesFromPE:       s.st.BytesFromPE(),
 		PCIeCardRx:        s.plat.Card.PayloadRx(),
