@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench faults crash perfreport
+.PHONY: build test race vet bench cover latency faults crash perfreport
 
 build:
 	$(GO) build ./...
@@ -15,12 +15,30 @@ test: vet
 # and the fault-injection/recovery machinery (including the controller
 # crash-recovery ladder).
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/sim/... ./internal/bufpool/... ./internal/fault/...
-	$(GO) test -race -run 'Fault|Retry|Timeout|CQE|Crash|Breaker|Death|CFS|Degraded' ./internal/streamer/
+	$(GO) test -race ./internal/parallel/... ./internal/sim/... ./internal/bufpool/... ./internal/fault/... ./internal/obs/...
+	$(GO) test -race -run 'Fault|Retry|Timeout|CQE|Crash|Breaker|Death|CFS|Degraded|Span' ./internal/streamer/
 	$(GO) test -race -run TestParallelDeterminism ./internal/bench/
 
 vet:
 	$(GO) vet ./...
+
+# Per-package statement coverage, with a ratchet on the packages whose test
+# suites this repo leans on hardest: the span tracer, the trace parser, and
+# the experiment engine. Raise a floor when its package's coverage rises;
+# never lower one to make a change fit.
+cover:
+	$(GO) test -cover ./... > cover.txt || { cat cover.txt; rm -f cover.txt; exit 1; }
+	@cat cover.txt
+	@awk '{ pct = $$5; sub(/%/, "", pct) } \
+		$$2 == "snacc/internal/obs"      && pct + 0 < 85 { bad = bad "  " $$2 ": " pct "% < 85%\n" } \
+		$$2 == "snacc/internal/workload" && pct + 0 < 88 { bad = bad "  " $$2 ": " pct "% < 88%\n" } \
+		$$2 == "snacc/internal/bench"    && pct + 0 < 84 { bad = bad "  " $$2 ": " pct "% < 84%\n" } \
+		END { if (bad != "") { printf "coverage ratchet failed:\n%s", bad; exit 1 } }' cover.txt
+	@rm -f cover.txt
+
+# Per-stage latency percentiles from span tracing -> BENCH_latency.json
+latency:
+	$(GO) run ./cmd/snaccbench -latency
 
 # Microbenchmarks: kernel scheduling (events/sec, allocs/op) and end-to-end
 # streamer reads (4 KiB and 1 MiB).

@@ -12,6 +12,7 @@
 //	snaccbench -ablation qd|ooo|multissd|gen5|dram
 //	snaccbench -faults            # fault-injection sweep (goodput vs error rate)
 //	snaccbench -crash             # controller-crash sweep (goodput + MTTR vs crash rate)
+//	snaccbench -latency           # per-stage latency percentiles from span tracing
 //	snaccbench -all               # everything
 //	snaccbench -all -j 8          # shard independent rigs over 8 workers
 //	snaccbench -perfreport        # write BENCH_parallel.json
@@ -51,6 +52,7 @@ func main() {
 	perfreport := flag.Bool("perfreport", false, "measure serial vs parallel suite wall time and kernel throughput, write BENCH_parallel.json")
 	faults := flag.Bool("faults", false, "run the NVMe fault-injection sweep (goodput and retry amplification vs error rate)")
 	crash := flag.Bool("crash", false, "run the controller-crash sweep (goodput and MTTR vs crash rate), write BENCH_crash.json")
+	latency := flag.Bool("latency", false, "run the latency-breakdown rig (per-stage latency percentiles from span tracing), write BENCH_latency.json")
 	flag.Parse()
 
 	bench.SetParallelism(*jobs)
@@ -154,6 +156,19 @@ func main() {
 					os.Exit(1)
 				}
 				fmt.Println("wrote BENCH_crash.json")
+			}
+		})
+	}
+	if *all || *latency {
+		run("latency breakdown", func() {
+			table := bench.RenderLatencyBreakdown(bench.LatencyBreakdown(size / 4))
+			show(table)
+			if *latency {
+				if err := os.WriteFile("BENCH_latency.json", []byte(table.JSON()+"\n"), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Println("wrote BENCH_latency.json")
 			}
 		})
 	}

@@ -5,10 +5,16 @@
 // completer service latency, implied bandwidth) that the paper used to
 // attribute the URAM write ceiling to PCIe P2P rather than the Streamer.
 //
+// A second mode, -spans, switches from the boundary view to the per-command
+// view: it runs the same workload with the span tracer enabled and prints
+// per-command waterfalls (every pipeline stage, timestamped) and the
+// stage-latency percentile table derived from all traced commands.
+//
 // Usage:
 //
 //	snacctrace [-variant uram|obdram|hostdram] [-op write|read]
 //	           [-size MiB] [-events N]
+//	snacctrace -spans [-variant ...] [-op ...] [-size MiB] [-n N]
 package main
 
 import (
@@ -16,7 +22,10 @@ import (
 	"fmt"
 	"os"
 
+	"snacc"
+	"snacc/internal/bench"
 	"snacc/internal/nvme"
+	"snacc/internal/obs"
 	"snacc/internal/pcie"
 	"snacc/internal/sim"
 	"snacc/internal/streamer"
@@ -30,6 +39,8 @@ func main() {
 	op := flag.String("op", "write", "workload: write or read (1 MiB sequential commands)")
 	sizeMiB := flag.Int64("size", 64, "transfer volume (MiB)")
 	events := flag.Int("events", 24, "raw trace events to print")
+	spans := flag.Bool("spans", false, "trace per-command spans instead of the PCIe boundary")
+	nspans := flag.Int("n", 4, "command waterfalls to print in -spans mode")
 	flag.Parse()
 
 	var v streamer.Variant
@@ -43,6 +54,17 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
 		os.Exit(2)
+	}
+	switch *op {
+	case "write", "read":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown op %q (want write or read)\n", *op)
+		os.Exit(2)
+	}
+
+	if *spans {
+		runSpans(v, *op, *sizeMiB, *nspans)
+		return
 	}
 
 	k := sim.NewKernel()
@@ -122,5 +144,80 @@ func main() {
 		mean := bytes / int64(len(wrs))
 		fmt.Printf("  inbound posted writes: %d, mean %d B, mean gap %v → %.2f GB/s\n",
 			len(wrs), mean, gap, float64(mean)/gap.Seconds()/1e9)
+	}
+}
+
+// runSpans runs the workload through the public snacc API with span tracing
+// enabled, prints per-command waterfalls for the first nspans commands of
+// the selected direction, verifies monotonicity across every traced span,
+// and closes with the per-stage latency percentile table.
+func runSpans(v streamer.Variant, op string, sizeMiB int64, nspans int) {
+	functional := false
+	sys := snacc.MustNewSystem(snacc.Options{
+		Variant:    v,
+		Functional: &functional,
+		// Retain every span: one command per MiB each way, plus slack.
+		Trace: &snacc.TraceOptions{SpanLimit: int(2*sizeMiB) + 16},
+	})
+	sys.Execute(func(h *snacc.Handle) {
+		h.WriteTimed(0, sizeMiB*sim.MiB)
+		if op == "read" {
+			h.ReadTimed(0, sizeMiB*sim.MiB)
+		}
+	})
+
+	all := sys.Spans()
+	var sel []snacc.Span
+	for _, sp := range all {
+		if sp.Write == (op == "write") {
+			sel = append(sel, sp)
+		}
+	}
+	stats := sys.Stats()
+	fmt.Printf("workload: %s %s, %d MiB — traced %d spans (%d %s), opened=%d closed=%d\n",
+		v, op, sizeMiB, len(all), len(sel), op, stats.SpansOpened, stats.SpansClosed)
+
+	bad := 0
+	for _, sp := range all {
+		if !sp.Monotone() {
+			bad++
+		}
+	}
+	if bad > 0 || stats.SpansOpened != stats.SpansClosed {
+		fmt.Fprintf(os.Stderr, "span invariants violated: %d non-monotone spans, opened=%d closed=%d\n",
+			bad, stats.SpansOpened, stats.SpansClosed)
+		os.Exit(1)
+	}
+	fmt.Println("all spans monotone, every opened span closed")
+
+	n := nspans
+	if n > len(sel) {
+		n = len(sel)
+	}
+	fmt.Printf("\nfirst %d command waterfalls (offsets from acceptance):\n", n)
+	for _, sp := range sel[:n] {
+		printWaterfall(sp)
+	}
+
+	fmt.Println()
+	fmt.Println(bench.RenderLatencyBreakdown(bench.LatencyStages(v.String(), op, sel)))
+}
+
+// printWaterfall renders one span as a stage-by-stage timeline.
+func printWaterfall(sp snacc.Span) {
+	fmt.Printf("span %d: %s addr=%#x len=%d status=%#x\n",
+		sp.ID, map[bool]string{true: "write", false: "read"}[sp.Write], sp.Addr, sp.Len, sp.Status)
+	base := sp.Stages[obs.StageAccepted]
+	prev := base
+	for st := obs.StageAccepted; st < obs.NumStages; st++ {
+		at := sp.Stages[st]
+		if at < 0 {
+			continue
+		}
+		fmt.Printf("  %-10s %12v  (+%v)\n", st, at-base, at-prev)
+		prev = at
+	}
+	for _, a := range sp.Annots {
+		fmt.Printf("  ! %s at %v\n", a.Kind, a.At-base)
 	}
 }

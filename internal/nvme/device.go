@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"snacc/internal/bufpool"
+	"snacc/internal/obs"
 	"snacc/internal/pcie"
 	"snacc/internal/sim"
 )
@@ -188,6 +189,10 @@ type Device struct {
 	// ctrlInjector, when set, can crash, hang or remove the whole
 	// controller at a chosen I/O command.
 	ctrlInjector func(Command) CtrlFault
+	// cmdObserver, when set, receives per-command pipeline events (SQE
+	// fetched, execution started) for span tracing. Nil by default; the
+	// untraced path pays one nil compare per site.
+	cmdObserver CmdObserver
 
 	// Stats and SMART accounting.
 	cmdsExecuted     int64
@@ -210,6 +215,16 @@ type Device struct {
 // SetFaultInjector installs fn; fn returning a non-success status fails the
 // command without touching media. Pass nil to clear.
 func (d *Device) SetFaultInjector(fn func(Command) uint16) { d.faultInjector = fn }
+
+// CmdObserver receives device-side pipeline events for span tracing: the
+// qid/cid pair names the command, stage is obs.StageFetched when the fetch
+// engine decoded its SQE and obs.StageTransfer when execution began. The
+// admin queue (qid 0) reports too; host glue typically filters on the I/O
+// queue it owns.
+type CmdObserver func(qid, cid uint16, stage obs.Stage, at sim.Time)
+
+// SetCmdObserver installs the per-command event observer (nil to remove).
+func (d *Device) SetCmdObserver(fn CmdObserver) { d.cmdObserver = fn }
 
 // CQEFate is a completion interceptor's verdict on one completion entry.
 type CQEFate struct {
@@ -662,6 +677,9 @@ func (d *Device) kick(q *queuePair) {
 					panic(fmt.Sprintf("nvme: duplicate fetch of CID %d on q%d (slot %d op %#x)", cmd.CID, q.id, fetchHead+i, cmd.Opcode))
 				}
 				q.debugOutstanding[cmd.CID] = true
+				if d.cmdObserver != nil {
+					d.cmdObserver(q.id, cmd.CID, obs.StageFetched, d.k.Now())
+				}
 				d.dispatch(q, cmd)
 			}
 			bufpool.Put(buf)

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 
 	"snacc/internal/bufpool"
+	"snacc/internal/obs"
 	"snacc/internal/sim"
 )
 
@@ -23,6 +24,9 @@ type extent struct {
 // recurring crash rule would livelock the recovery ladder. Counting
 // completions guarantees N-1 commands survive each crash-every-N episode.
 func (d *Device) executeIO(q *queuePair, cmd Command) {
+	if d.cmdObserver != nil {
+		d.cmdObserver(q.id, cmd.CID, obs.StageTransfer, d.k.Now())
+	}
 	if cmd.PSDT != 0 {
 		// SGL data pointers are not implemented (nor used by SNAcc).
 		d.complete(q, cmd, StatusInvalidField, 0)

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"snacc/internal/sim"
+)
+
+func TestHistBucketBounds(t *testing.T) {
+	// Every value must land in a bucket whose upper bound is >= the value
+	// and within the bucket's relative-width guarantee.
+	vals := []sim.Time{0, 1, 31, 32, 33, 63, 64, 65, 1023, 1024, 4097,
+		sim.Microsecond, sim.Millisecond, sim.Second, 1<<62 + 12345}
+	for _, v := range vals {
+		b := histBucket(v)
+		hi := histBucketHigh(b)
+		if hi < v {
+			t.Errorf("value %d: bucket %d upper bound %d < value", v, b, hi)
+		}
+		if b > 0 && histBucketHigh(b-1) >= v {
+			t.Errorf("value %d: previous bucket %d already covers it", v, b-1)
+		}
+		// Relative quantization error bounded by one sub-bucket width.
+		if v >= histSubCount && float64(hi-v) > float64(v)/float64(histSubCount)+1 {
+			t.Errorf("value %d: bucket upper bound %d overshoots by more than 1/%d", v, hi, histSubCount)
+		}
+	}
+}
+
+func TestHistBucketMonotone(t *testing.T) {
+	prev := -1
+	for v := sim.Time(0); v < 100000; v += 7 {
+		b := histBucket(v)
+		if b < prev {
+			t.Fatalf("bucket index decreased at value %d: %d < %d", v, b, prev)
+		}
+		prev = b
+	}
+	if b := histBucket(sim.Time(1<<63 - 1)); b >= histBuckets {
+		t.Fatalf("max value bucket %d out of range %d", b, histBuckets)
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	rng := rand.New(rand.NewSource(42))
+	samples := make([]int64, 10000)
+	for i := range samples {
+		samples[i] = rng.Int63n(int64(10 * sim.Millisecond))
+		h.Record(sim.Time(samples[i]))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	if h.Count() != 10000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Min() != sim.Time(samples[0]) || h.Max() != sim.Time(samples[len(samples)-1]) {
+		t.Fatalf("Min/Max = %v/%v, want %d/%d", h.Min(), h.Max(), samples[0], samples[len(samples)-1])
+	}
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		exact := samples[int(p/100*float64(len(samples)))-1]
+		got := int64(h.Percentile(p))
+		// Bucket-quantized: within one sub-bucket width above the exact rank.
+		if got < exact || float64(got-exact) > float64(exact)/histSubCount+float64(histSubCount) {
+			t.Errorf("p%v = %d, exact %d (error too large)", p, got, exact)
+		}
+	}
+}
+
+func TestHistEmptyAndEdge(t *testing.T) {
+	var h Hist
+	if h.Percentile(99) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must read as zero")
+	}
+	if h.String() != "hist: empty" {
+		t.Fatalf("String = %q", h.String())
+	}
+	h.Record(-5) // clamps to 0
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative clamp: min=%v max=%v n=%d", h.Min(), h.Max(), h.Count())
+	}
+	h.Record(100)
+	if h.Percentile(100) != 100 {
+		t.Fatalf("p100 = %v, want 100", h.Percentile(100))
+	}
+	if h.Percentile(0) != 0 {
+		t.Fatalf("p0 = %v, want 0", h.Percentile(0))
+	}
+}
+
+func TestHistMergeReset(t *testing.T) {
+	var a, b Hist
+	for i := 0; i < 100; i++ {
+		a.Record(sim.Time(i))
+		b.Record(sim.Time(1000 + i))
+	}
+	a.Merge(&b)
+	if a.Count() != 200 || a.Min() != 0 || a.Max() != 1099 {
+		t.Fatalf("merge: n=%d min=%v max=%v", a.Count(), a.Min(), a.Max())
+	}
+	a.Merge(nil) // no-op
+	if a.Count() != 200 {
+		t.Fatal("merge(nil) changed the histogram")
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Sum() != 0 {
+		t.Fatal("reset left state behind")
+	}
+}
+
+func BenchmarkHistRecord(b *testing.B) {
+	var h Hist
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(sim.Time(i) * 37)
+	}
+	if h.Count() != int64(b.N) {
+		b.Fatal("miscount")
+	}
+}

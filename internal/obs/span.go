@@ -1,0 +1,380 @@
+package obs
+
+import (
+	"snacc/internal/sim"
+)
+
+// Stage identifies one timestamped edge in an NVMe command's pipeline
+// lifecycle, in pipeline order. A span records at most one final timestamp
+// per stage; a resubmission (retry or post-reset replay) clears the
+// device-path stages so the retained timestamps always describe the attempt
+// that produced the completion.
+type Stage uint8
+
+const (
+	// StageAccepted: the PE's command beat was accepted by the submit FSM.
+	StageAccepted Stage = iota
+	// StageBufReady: staging-buffer space is reserved (and, for writes,
+	// the payload is staged) — the command can go on the wire.
+	StageBufReady
+	// StageSubmitted: the SQE was encoded into the SQ FIFO.
+	StageSubmitted
+	// StageDoorbell: the SQ tail doorbell write was posted to the device.
+	StageDoorbell
+	// StageFetched: the controller's fetch engine pulled the SQE over PCIe.
+	StageFetched
+	// StageTransfer: the controller began executing the data transfer.
+	StageTransfer
+	// StageCQE: the completion entry reached the reorder buffer.
+	StageCQE
+	// StageRetired: the command retired in order to the PE.
+	StageRetired
+
+	// NumStages bounds the per-span stage table.
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"accepted", "buf-ready", "submitted", "doorbell",
+	"fetched", "transfer", "cqe", "retired",
+}
+
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "stage?"
+}
+
+// AnnotKind classifies a span or tracer annotation — the fault and
+// crash-recovery machinery leaving its fingerprints on the timeline.
+type AnnotKind uint8
+
+const (
+	// AnnotRetry: the command was resubmitted (error status or watchdog).
+	AnnotRetry AnnotKind = iota
+	// AnnotTimeout: the completion watchdog expired for this command.
+	AnnotTimeout
+	// AnnotReplay: the command was resubmitted by the post-reset replay.
+	AnnotReplay
+	// AnnotBreakerTrip: the controller-failure circuit breaker opened.
+	AnnotBreakerTrip
+	// AnnotReset: a controller reset attempt was issued.
+	AnnotReset
+	// AnnotDead: the controller was declared permanently dead.
+	AnnotDead
+	// AnnotFailFast: the command failed fast against a dead controller
+	// without ever going on the wire.
+	AnnotFailFast
+)
+
+var annotNames = [...]string{
+	"retry", "timeout", "replay", "breaker-trip", "reset", "dead", "fail-fast",
+}
+
+func (k AnnotKind) String() string {
+	if int(k) < len(annotNames) {
+		return annotNames[k]
+	}
+	return "annot?"
+}
+
+// Annot is one timestamped annotation.
+type Annot struct {
+	Kind AnnotKind
+	At   sim.Time
+}
+
+// unmarked is the sentinel for a stage with no timestamp.
+const unmarked = sim.Time(-1)
+
+// Span follows one NVMe command from PE acceptance to in-order retirement.
+// All methods are nil-receiver safe so instrumentation sites need no guard.
+type Span struct {
+	// ID numbers spans in Begin order within one Tracer.
+	ID uint64
+	// Op is the NVMe opcode; Write is its direction.
+	Op    uint8
+	Write bool
+	// Addr/Len locate the command on the namespace (byte quantities).
+	Addr uint64
+	Len  int64
+	// Status is the final NVMe status, valid once the span is closed.
+	Status uint16
+	// Stages holds the per-stage timestamps, unmarked (-1) where the
+	// stage was never observed (e.g. no fetch for a fail-fast command).
+	Stages [NumStages]sim.Time
+	// Annots lists retry/replay/breaker annotations in time order.
+	Annots []Annot
+
+	closed bool
+}
+
+// Mark records the timestamp of stage st. Later marks win (a resubmitted
+// command re-marks the device path); marks on a closed span are dropped.
+func (sp *Span) Mark(st Stage, at sim.Time) {
+	if sp == nil || sp.closed {
+		return
+	}
+	sp.Stages[st] = at
+}
+
+// Annotate appends a timestamped annotation.
+func (sp *Span) Annotate(k AnnotKind, at sim.Time) {
+	if sp == nil || sp.closed {
+		return
+	}
+	sp.Annots = append(sp.Annots, Annot{Kind: k, At: at})
+}
+
+// Resubmit clears the device-path stages (submitted … cqe) ahead of a new
+// attempt, so a span never mixes timestamps of different attempts: stale
+// fetch/transfer marks from a superseded attempt would otherwise break
+// monotonicity when the new attempt's submission lands after them.
+func (sp *Span) Resubmit() {
+	if sp == nil || sp.closed {
+		return
+	}
+	for st := StageSubmitted; st <= StageCQE; st++ {
+		sp.Stages[st] = unmarked
+	}
+}
+
+// Closed reports whether the span has been ended.
+func (sp *Span) Closed() bool { return sp != nil && sp.closed }
+
+// Monotone reports whether the marked stages carry non-decreasing
+// timestamps in pipeline order — the core span invariant.
+func (sp *Span) Monotone() bool {
+	prev := unmarked
+	for _, at := range sp.Stages {
+		if at == unmarked {
+			continue
+		}
+		if prev != unmarked && at < prev {
+			return false
+		}
+		prev = at
+	}
+	return true
+}
+
+// Tracer collects spans and aggregates per-stage latency histograms. All
+// methods are nil-receiver safe; a nil Tracer records nothing.
+//
+// Aggregation model: stage[st] is the latency of the transition INTO stage
+// st, measured from the previous marked stage of the same span (skipping
+// stages the completing attempt never touched), so the per-stage histograms
+// tile each span's end-to-end latency exactly.
+type Tracer struct {
+	limit  int
+	nextID uint64
+
+	opened      int64
+	closed      int64
+	dropped     int64
+	late        int64
+	doubleClose int64
+
+	spans    []Span
+	stage    [NumStages]Hist
+	readE2E  Hist
+	writeE2E Hist
+	events   []Annot
+}
+
+// DefaultSpanLimit caps retained completed spans unless NewTracer is told
+// otherwise. Histograms and counters keep aggregating past the cap.
+const DefaultSpanLimit = 512
+
+// NewTracer returns a tracer retaining up to limit completed spans
+// (DefaultSpanLimit when limit <= 0). The first limit spans to complete are
+// kept — deterministic, and the interesting ones for a waterfall.
+func NewTracer(limit int) *Tracer {
+	if limit <= 0 {
+		limit = DefaultSpanLimit
+	}
+	return &Tracer{limit: limit}
+}
+
+// Begin opens a span for one NVMe command, marking StageAccepted at `at`.
+func (t *Tracer) Begin(op uint8, write bool, addr uint64, n int64, at sim.Time) *Span {
+	if t == nil {
+		return nil
+	}
+	t.opened++
+	sp := &Span{ID: t.nextID, Op: op, Write: write, Addr: addr, Len: n}
+	t.nextID++
+	for i := range sp.Stages {
+		sp.Stages[i] = unmarked
+	}
+	sp.Stages[StageAccepted] = at
+	return sp
+}
+
+// End closes a span: marks StageRetired at `at`, latches the final status,
+// folds the stage transitions into the histograms, and retains the span if
+// the limit allows. Ending a span twice is counted, not fatal — it would
+// mean a slot retired twice, which the invariant tests assert never happens.
+func (t *Tracer) End(sp *Span, status uint16, at sim.Time) {
+	if t == nil || sp == nil {
+		return
+	}
+	if sp.closed {
+		t.doubleClose++
+		return
+	}
+	sp.Mark(StageRetired, at)
+	sp.Status = status
+	sp.closed = true
+	t.closed++
+	prev := unmarked
+	for st, ts := range sp.Stages {
+		if ts == unmarked {
+			continue
+		}
+		if prev != unmarked {
+			t.stage[st].Record(ts - prev)
+		}
+		prev = ts
+	}
+	if e2e := sp.Stages[StageRetired] - sp.Stages[StageAccepted]; sp.Stages[StageAccepted] != unmarked {
+		if sp.Write {
+			t.writeE2E.Record(e2e)
+		} else {
+			t.readE2E.Record(e2e)
+		}
+	}
+	if len(t.spans) < t.limit {
+		t.spans = append(t.spans, *sp)
+	} else {
+		t.dropped++
+	}
+}
+
+// LateEvent counts a pipeline event that arrived for a slot no live span
+// owns — e.g. the fetch of a zombie attempt after a late completion already
+// resolved the command.
+func (t *Tracer) LateEvent() {
+	if t != nil {
+		t.late++
+	}
+}
+
+// Event records a tracer-global annotation (breaker trip, reset, death).
+func (t *Tracer) Event(k AnnotKind, at sim.Time) {
+	if t != nil {
+		t.events = append(t.events, Annot{Kind: k, At: at})
+	}
+}
+
+// Spans returns a copy of the retained completed spans, in completion order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Events returns a copy of the tracer-global annotations, in time order.
+func (t *Tracer) Events() []Annot {
+	if t == nil {
+		return nil
+	}
+	out := make([]Annot, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// StageHist returns the latency histogram of the transition into stage st
+// (nil for a nil tracer). The histogram aggregates reads and writes; use
+// Breakdown over Spans for a per-direction view.
+func (t *Tracer) StageHist(st Stage) *Hist {
+	if t == nil {
+		return nil
+	}
+	return &t.stage[st]
+}
+
+// E2E returns the end-to-end (accepted → retired) latency histogram for the
+// given direction.
+func (t *Tracer) E2E(write bool) *Hist {
+	if t == nil {
+		return nil
+	}
+	if write {
+		return &t.writeE2E
+	}
+	return &t.readE2E
+}
+
+// Accounting.
+
+// Opened returns spans begun.
+func (t *Tracer) Opened() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.opened
+}
+
+// Closed returns spans ended.
+func (t *Tracer) Closed() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.closed
+}
+
+// Dropped returns completed spans not retained because of the span limit.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// LateEvents returns pipeline events dropped because no live span owned the
+// slot they named.
+func (t *Tracer) LateEvents() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.late
+}
+
+// DoubleCloses returns End calls on already-closed spans (always 0 unless a
+// retirement invariant broke).
+func (t *Tracer) DoubleCloses() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.doubleClose
+}
+
+// Breakdown aggregates per-stage transition histograms from a span set the
+// caller has filtered (typically by direction) — same tiling rule as the
+// tracer's live aggregation.
+type Breakdown struct {
+	Stage [NumStages]Hist
+}
+
+// NewBreakdown builds a Breakdown over spans.
+func NewBreakdown(spans []Span) *Breakdown {
+	b := &Breakdown{}
+	for i := range spans {
+		prev := unmarked
+		for st, ts := range spans[i].Stages {
+			if ts == unmarked {
+				continue
+			}
+			if prev != unmarked {
+				b.Stage[st].Record(ts - prev)
+			}
+			prev = ts
+		}
+	}
+	return b
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"testing"
+
+	"snacc/internal/sim"
+)
+
+func TestSpanLifecycle(t *testing.T) {
+	tr := NewTracer(8)
+	sp := tr.Begin(0x02, false, 0x1000, 4096, 10)
+	if sp.ID != 0 || sp.Stages[StageAccepted] != 10 {
+		t.Fatalf("Begin: id=%d accepted=%v", sp.ID, sp.Stages[StageAccepted])
+	}
+	sp.Mark(StageBufReady, 12)
+	sp.Mark(StageSubmitted, 14)
+	sp.Mark(StageDoorbell, 14)
+	sp.Mark(StageFetched, 20)
+	sp.Mark(StageTransfer, 25)
+	sp.Mark(StageCQE, 40)
+	tr.End(sp, 0, 45)
+	if !sp.Closed() || sp.Stages[StageRetired] != 45 {
+		t.Fatal("End did not close/mark the span")
+	}
+	if !sp.Monotone() {
+		t.Fatal("clean span not monotone")
+	}
+	if tr.Opened() != 1 || tr.Closed() != 1 {
+		t.Fatalf("opened/closed = %d/%d", tr.Opened(), tr.Closed())
+	}
+	// Post-close marks and annotations are dropped.
+	sp.Mark(StageCQE, 1)
+	sp.Annotate(AnnotRetry, 1)
+	if sp.Stages[StageCQE] != 40 || len(sp.Annots) != 0 {
+		t.Fatal("closed span accepted a mark/annotation")
+	}
+	// Double close is counted, not fatal.
+	tr.End(sp, 0, 50)
+	if tr.DoubleCloses() != 1 || tr.Closed() != 1 {
+		t.Fatalf("double close: %d closed=%d", tr.DoubleCloses(), tr.Closed())
+	}
+	// Transition histograms tile the span.
+	var total sim.Time
+	for st := Stage(0); st < NumStages; st++ {
+		total += tr.StageHist(st).Sum()
+	}
+	if total != 45-10 {
+		t.Fatalf("stage transitions sum to %v, want 35", total)
+	}
+	if tr.E2E(false).Count() != 1 || tr.E2E(false).Max() != 35 {
+		t.Fatalf("read e2e hist: %v", tr.E2E(false))
+	}
+}
+
+func TestSpanResubmitClearsDevicePath(t *testing.T) {
+	tr := NewTracer(8)
+	sp := tr.Begin(0x01, true, 0, 512, 0)
+	sp.Mark(StageBufReady, 1)
+	sp.Mark(StageSubmitted, 2)
+	sp.Mark(StageDoorbell, 2)
+	sp.Mark(StageFetched, 5)
+	sp.Mark(StageTransfer, 8)
+	sp.Annotate(AnnotTimeout, 100)
+	sp.Resubmit()
+	sp.Mark(StageSubmitted, 101)
+	sp.Mark(StageDoorbell, 101)
+	// The first attempt's late CQE rescues the command before the second
+	// attempt is fetched: fetched/transfer stay unmarked, and the span must
+	// still be monotone.
+	sp.Mark(StageCQE, 105)
+	tr.End(sp, 0, 106)
+	if sp.Stages[StageFetched] != unmarked || sp.Stages[StageTransfer] != unmarked {
+		t.Fatal("Resubmit did not clear device-path stages")
+	}
+	if !sp.Monotone() {
+		t.Fatalf("resubmitted span not monotone: %v", sp.Stages)
+	}
+	if len(sp.Annots) != 1 || sp.Annots[0].Kind != AnnotTimeout {
+		t.Fatalf("annotations lost: %v", sp.Annots)
+	}
+}
+
+func TestSpanMonotoneDetectsRegression(t *testing.T) {
+	sp := &Span{}
+	for i := range sp.Stages {
+		sp.Stages[i] = unmarked
+	}
+	sp.Stages[StageFetched] = 50
+	sp.Stages[StageSubmitted] = 90 // out of order
+	if sp.Monotone() {
+		t.Fatal("Monotone missed a regression")
+	}
+}
+
+func TestTracerSpanLimitAndNilSafety(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		sp := tr.Begin(0x02, false, 0, 512, sim.Time(i))
+		tr.End(sp, 0, sim.Time(i+1))
+	}
+	if len(tr.Spans()) != 2 || tr.Dropped() != 3 {
+		t.Fatalf("limit: retained %d dropped %d", len(tr.Spans()), tr.Dropped())
+	}
+	if tr.Closed() != 5 {
+		t.Fatalf("histogram aggregation must continue past the limit: closed=%d", tr.Closed())
+	}
+	tr.Event(AnnotBreakerTrip, 7)
+	if ev := tr.Events(); len(ev) != 1 || ev[0].Kind != AnnotBreakerTrip {
+		t.Fatalf("events: %v", ev)
+	}
+
+	// A nil tracer and nil span must be inert at every call site.
+	var nilTr *Tracer
+	sp := nilTr.Begin(0, false, 0, 0, 0)
+	if sp != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	sp.Mark(StageCQE, 1)
+	sp.Annotate(AnnotRetry, 1)
+	sp.Resubmit()
+	nilTr.End(sp, 0, 1)
+	nilTr.LateEvent()
+	nilTr.Event(AnnotReset, 1)
+	if nilTr.Opened() != 0 || nilTr.Spans() != nil || nilTr.StageHist(StageCQE) != nil || nilTr.E2E(true) != nil {
+		t.Fatal("nil tracer leaked state")
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	tr := NewTracer(8)
+	mk := func(write bool, base sim.Time) {
+		sp := tr.Begin(0x02, write, 0, 512, base)
+		sp.Mark(StageSubmitted, base+2)
+		sp.Mark(StageCQE, base+10)
+		tr.End(sp, 0, base+11)
+	}
+	mk(false, 0)
+	mk(true, 100)
+	spans := tr.Spans()
+	var reads []Span
+	for _, sp := range spans {
+		if !sp.Write {
+			reads = append(reads, sp)
+		}
+	}
+	b := NewBreakdown(reads)
+	if b.Stage[StageSubmitted].Count() != 1 || b.Stage[StageSubmitted].Max() != 2 {
+		t.Fatalf("breakdown submitted: %v", b.Stage[StageSubmitted].String())
+	}
+	if b.Stage[StageCQE].Max() != 8 || b.Stage[StageRetired].Max() != 1 {
+		t.Fatal("breakdown transitions wrong")
+	}
+}
+
+func TestStageAndAnnotStrings(t *testing.T) {
+	if StageAccepted.String() != "accepted" || StageRetired.String() != "retired" {
+		t.Fatal("stage names wrong")
+	}
+	if Stage(200).String() != "stage?" || AnnotKind(200).String() != "annot?" {
+		t.Fatal("out-of-range names must not panic")
+	}
+	if AnnotReplay.String() != "replay" {
+		t.Fatal("annot names wrong")
+	}
+}

@@ -47,8 +47,13 @@ type Tracer struct {
 	// Filter restricts capture to matching addresses (nil captures all).
 	Filter func(addr uint64, n int64) bool
 	// Limit caps captured events (0 = unlimited).
-	Limit  int
-	events []TraceEvent
+	Limit int
+	// Observer, when set, streams every event passing the Filter to a
+	// live consumer — even after Limit stops the capture buffer — so the
+	// tracer doubles as a boundary-event source for span tracing without
+	// retaining unbounded state.
+	Observer func(TraceEvent)
+	events   []TraceEvent
 }
 
 // NewTracer creates a tracer on k.
@@ -61,10 +66,14 @@ func (t *Tracer) record(kind TraceKind, addr uint64, n int64) {
 	if t.Filter != nil && !t.Filter(addr, n) {
 		return
 	}
+	ev := TraceEvent{At: t.k.Now(), Kind: kind, Addr: addr, Len: n}
+	if t.Observer != nil {
+		t.Observer(ev)
+	}
 	if t.Limit > 0 && len(t.events) >= t.Limit {
 		return
 	}
-	t.events = append(t.events, TraceEvent{At: t.k.Now(), Kind: kind, Addr: addr, Len: n})
+	t.events = append(t.events, ev)
 }
 
 // Events returns the captured trace.

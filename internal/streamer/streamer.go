@@ -6,6 +6,7 @@ import (
 	"snacc/internal/axis"
 	"snacc/internal/bufpool"
 	"snacc/internal/nvme"
+	"snacc/internal/obs"
 	"snacc/internal/pcie"
 	"snacc/internal/sim"
 )
@@ -153,6 +154,11 @@ type Streamer struct {
 	// Per-command submit→retire latency, by direction.
 	readLat  sim.Histogram
 	writeLat sim.Histogram
+
+	// tr, when non-nil, traces every NVMe command as an obs.Span. All
+	// instrumentation sites go through nil-safe obs methods, so the
+	// untraced path costs one nil compare and allocates nothing.
+	tr *obs.Tracer
 }
 
 // robEntry is one in-flight NVMe command.
@@ -184,6 +190,8 @@ type robEntry struct {
 	// order").
 	rreq  *readTracker
 	piece int
+	// span follows the command through the pipeline (nil when untraced).
+	span *obs.Span
 }
 
 // readTracker orders the pieces of one PE read request.
@@ -291,6 +299,34 @@ func (s *Streamer) ConfigureStatus(cstsAddr uint64) { s.cstsAddr = cstsAddr }
 // (tapasco.Driver.ResetAndReattach), returning an error when the device is
 // gone for good. It runs from the breaker's proc context.
 func (s *Streamer) SetResetHandler(fn func(p *sim.Proc) error) { s.resetFn = fn }
+
+// SetTracer attaches a span tracer; every NVMe command submitted afterwards
+// is followed as one obs.Span from PE acceptance to in-order retirement.
+// Striped arrays may share one tracer across members (same kernel, so the
+// single-threaded discipline holds). Install it before traffic: commands
+// already in flight stay untraced.
+func (s *Streamer) SetTracer(tr *obs.Tracer) { s.tr = tr }
+
+// Tracer returns the attached span tracer, or nil.
+func (s *Streamer) Tracer() *obs.Tracer { return s.tr }
+
+// OnDeviceEvent routes a device-side pipeline event (SQE fetch, execution
+// start) onto the owning command's span. The CID is the reorder-buffer slot
+// by construction; events naming an idle or already-done slot — the fetch of
+// a zombie attempt after a late completion resolved the command, or a replay
+// racing a pre-reset fetch — are counted as late and dropped, mirroring the
+// protocol-error discipline of onCQE.
+func (s *Streamer) OnDeviceEvent(cid uint16, stage obs.Stage, at sim.Time) {
+	if s.tr == nil {
+		return
+	}
+	slot := int(cid)
+	if slot < 0 || slot >= len(s.rob) || !s.rob[slot].used || s.rob[slot].done || s.rob[slot].span == nil {
+		s.tr.LateEvent()
+		return
+	}
+	s.rob[slot].span.Mark(stage, at)
+}
 
 // Config returns the streamer configuration.
 func (s *Streamer) Config() Config { return s.cfg }
@@ -481,7 +517,7 @@ func (s *Streamer) freeBuf(isWrite bool, off int64) {
 
 // submit builds the SQE for one ≤MaxCmdBytes piece, stores it in the SQ
 // FIFO, and rings the device doorbell.
-func (s *Streamer) submit(p *sim.Proc, slot int, op uint8, devAddr uint64, bufOff, n int64, isWrite, last bool, wreq *writeTracker, rreq *readTracker, piece int) {
+func (s *Streamer) submit(p *sim.Proc, slot int, op uint8, devAddr uint64, bufOff, n int64, isWrite, last bool, wreq *writeTracker, rreq *readTracker, piece int, span *obs.Span) {
 	if !s.configured {
 		panic("streamer: command before Configure (host initialization missing)")
 	}
@@ -503,10 +539,12 @@ func (s *Streamer) submit(p *sim.Proc, slot int, op uint8, devAddr uint64, bufOf
 	e.wreq = wreq
 	e.rreq = rreq
 	e.piece = piece
+	e.span = span
 	if s.dead {
 		// Terminal controller death: fail fast with the synthesized status
 		// instead of ringing a dead doorbell — the command never goes on
 		// the wire, so no watchdog, no retry, no CQ slot.
+		span.Annotate(obs.AnnotFailFast, s.k.Now())
 		e.done = true
 		e.timedOut = true
 		e.status = nvme.StatusControllerUnavailable
@@ -528,6 +566,10 @@ func (s *Streamer) encodeAndRing(slot int) {
 	e.status = nvme.StatusSuccess
 	s.cmdSeq++
 	e.seq = s.cmdSeq
+	// A resubmission invalidates the previous attempt's device-path
+	// timestamps; the span keeps only the attempt that completes.
+	e.span.Resubmit()
+	e.span.Mark(obs.StageSubmitted, s.k.Now())
 
 	cmd := nvme.Command{Opcode: e.op, CID: uint16(slot), NSID: 1}
 	cmd.SetSLBA(e.devAddr / uint64(s.lbaSize))
@@ -549,6 +591,7 @@ func (s *Streamer) encodeAndRing(slot int) {
 		s.k.After(s.cfg.CmdTimeout, func() { s.onDeadline(slot, seq) })
 	}
 	s.armCFSPoll()
+	e.span.Mark(obs.StageDoorbell, s.k.Now())
 	s.ringDoorbell(s.sqDoorbell, uint32(s.sqTail))
 }
 
@@ -582,10 +625,12 @@ func (s *Streamer) readCmdLoop(p *sim.Proc) {
 			if n > req.Len-off {
 				n = req.Len - off
 			}
+			span := s.tr.Begin(nvme.OpRead, false, req.Addr+uint64(off), n, p.Now())
 			occupy(p, s.submitFSM, s.cfg.SubmitOverhead)
 			slot := s.robAlloc(p)
 			bufOff := s.allocReadBuf(p, n)
-			s.submit(p, slot, nvme.OpRead, req.Addr+uint64(off), bufOff, n, false, off+n == req.Len, nil, tracker, piece)
+			span.Mark(obs.StageBufReady, p.Now())
+			s.submit(p, slot, nvme.OpRead, req.Addr+uint64(off), bufOff, n, false, off+n == req.Len, nil, tracker, piece, span)
 			off += n
 			piece++
 		}
@@ -619,6 +664,7 @@ func (s *Streamer) writeLoop(p *sim.Proc) {
 			// MaxCmdBytes per in-flight command) and recycles once the
 			// payload has been consumed by the staging memory or, for the
 			// host-DRAM variant, delivered over PCIe.
+			pieceStart := p.Now()
 			var filled int64
 			var fnData []byte
 			if s.cfg.Functional {
@@ -639,6 +685,7 @@ func (s *Streamer) writeLoop(p *sim.Proc) {
 			if filled%s.lbaSize != 0 {
 				panic("streamer: write length must be a multiple of the LBA size")
 			}
+			span := s.tr.Begin(nvme.OpWrite, true, devAddr, filled, pieceStart)
 			occupy(p, s.submitFSM, s.cfg.SubmitOverhead)
 			slot := s.robAlloc(p)
 			bufOff := s.allocWriteBuf(p, filled)
@@ -650,9 +697,10 @@ func (s *Streamer) writeLoop(p *sim.Proc) {
 				consumed = func() { bufpool.Put(recycled) }
 			}
 			s.bufWrite(p, true, bufOff, filled, data, consumed)
+			span.Mark(obs.StageBufReady, p.Now())
 			tracker.remaining++
 			pieces++
-			s.submit(p, slot, nvme.OpWrite, devAddr, bufOff, filled, true, done, tracker, nil, 0)
+			s.submit(p, slot, nvme.OpWrite, devAddr, bufOff, filled, true, done, tracker, nil, 0, span)
 			devAddr += uint64(filled)
 		}
 		if pieces == 0 {
@@ -676,6 +724,7 @@ func (s *Streamer) onCQE(cqe nvme.Completion) {
 	slot := int(cqe.CID)
 	if slot < 0 || slot >= len(s.rob) || !s.rob[slot].used || s.rob[slot].done {
 		s.protocolErrors++
+		s.tr.LateEvent()
 		s.consumeCQE()
 		return
 	}
@@ -683,6 +732,7 @@ func (s *Streamer) onCQE(cqe nvme.Completion) {
 	e.done = true
 	e.hasCQE = true
 	e.status = cqe.Status
+	e.span.Mark(obs.StageCQE, s.k.Now())
 	// Any valid completion proves the controller is alive: the breaker's
 	// consecutive-timeout count restarts.
 	s.consecTimeouts = 0
@@ -731,6 +781,7 @@ func (s *Streamer) onDeadline(slot int, seq uint64) {
 	}
 	s.timeouts++
 	s.consecTimeouts++
+	e.span.Annotate(obs.AnnotTimeout, s.k.Now())
 	if s.cfg.BreakerThreshold > 0 && s.consecTimeouts >= s.cfg.BreakerThreshold {
 		s.tripBreaker()
 		return
@@ -810,6 +861,7 @@ func (s *Streamer) retryLoop(p *sim.Proc) {
 			// The controller died while the order waited: resolve the slot
 			// terminally instead of ringing a dead doorbell.
 			e := &s.rob[rq.slot]
+			e.span.Annotate(obs.AnnotFailFast, p.Now())
 			e.done = true
 			e.timedOut = true
 			e.status = nvme.StatusControllerUnavailable
@@ -821,6 +873,7 @@ func (s *Streamer) retryLoop(p *sim.Proc) {
 			continue
 		}
 		s.retries++
+		s.rob[rq.slot].span.Annotate(obs.AnnotRetry, p.Now())
 		s.encodeAndRing(rq.slot)
 	}
 }
@@ -857,6 +910,7 @@ func (s *Streamer) tripBreaker() {
 	}
 	s.breakerOpen = true
 	s.breakerTrips++
+	s.tr.Event(obs.AnnotBreakerTrip, s.k.Now())
 	s.breakerSignal.TryPut(struct{}{})
 }
 
@@ -879,6 +933,7 @@ func (s *Streamer) recoverCtrl(p *sim.Proc) {
 	ok := false
 	for attempt := 0; attempt < s.cfg.MaxResets && s.resetFn != nil; attempt++ {
 		s.ctrlResets++
+		s.tr.Event(obs.AnnotReset, p.Now())
 		if err := s.resetFn(p); err == nil {
 			ok = true
 			break
@@ -913,6 +968,7 @@ func (s *Streamer) replay(p *sim.Proc) {
 	for _, slot := range s.inflightOrder() {
 		occupy(p, s.submitFSM, s.cfg.SubmitOverhead)
 		s.replayedCmds++
+		s.rob[slot].span.Annotate(obs.AnnotReplay, p.Now())
 		s.encodeAndRing(slot)
 	}
 }
@@ -944,9 +1000,11 @@ func (s *Streamer) inflightOrder() []int {
 // doorbell must not advance; subsequent submissions fail fast in submit.
 func (s *Streamer) declareDead() {
 	s.dead = true
+	s.tr.Event(obs.AnnotDead, s.k.Now())
 	for i := range s.rob {
 		e := &s.rob[i]
 		if e.used && !e.done {
+			e.span.Annotate(obs.AnnotDead, s.k.Now())
 			e.done = true
 			e.timedOut = true
 			e.status = nvme.StatusControllerUnavailable
@@ -1083,6 +1141,7 @@ func (s *Streamer) retireLoop(p *sim.Proc) {
 		} else {
 			s.readLat.Add(p.Now() - e.submittedAt)
 		}
+		s.tr.End(e.span, e.status, p.Now())
 		hadCQE := e.hasCQE
 		s.robRelease(slot)
 		s.cmdsRetired++

@@ -35,6 +35,12 @@ type TraceOp struct {
 // denominator of block-trace formats (blktrace / SNIA-style), chosen so
 // captured traces convert with a one-line awk script.
 
+// maxGapMicros caps a trace op's think time at 1e9 µs (~17 simulated
+// minutes). Beyond roughly 2^53 ns the float µs→int64 ns conversion loses
+// integer precision (and far beyond it overflows); a cap keeps every
+// accepted gap exactly representable and round-trippable.
+const maxGapMicros = 1e9
+
 // ParseTrace reads a trace from r.
 func ParseTrace(r io.Reader) ([]TraceOp, error) {
 	var ops []TraceOp
@@ -71,10 +77,13 @@ func ParseTrace(r io.Reader) ([]TraceOp, error) {
 		op.Addr, op.N = addr, int64(n)
 		if len(fields) == 4 {
 			us, err := strconv.ParseFloat(fields[3], 64)
-			if err != nil || us < 0 || math.IsInf(us, 0) || math.IsNaN(us) {
-				return nil, fmt.Errorf("trace line %d: gap %q is not a non-negative duration in µs", line, fields[3])
+			if err != nil || us < 0 || us > maxGapMicros || math.IsInf(us, 0) || math.IsNaN(us) {
+				return nil, fmt.Errorf("trace line %d: gap %q is not a duration in µs within [0, %g]", line, fields[3], float64(maxGapMicros))
 			}
-			op.Gap = sim.Time(us * float64(sim.Microsecond))
+			// Round, don't truncate: FormatTrace prints gaps as µs floats, and
+			// the nearest float64 to gap/1000 can sit just below the integer
+			// (3 ns → "0.003" → 2.999…); rounding makes the round trip exact.
+			op.Gap = sim.Time(math.Round(us * float64(sim.Microsecond)))
 		}
 		if err := validateOp(op); err != nil {
 			return nil, fmt.Errorf("trace line %d: %v", line, err)

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseTrace throws arbitrary bytes at the trace parser. Two properties:
+// the parser never panics, and any trace it accepts survives a
+// FormatTrace → ParseTrace round trip unchanged — the format is the
+// interchange surface for captured workloads, so "what you replay is what
+// you archived" has to hold bit-for-bit (including the float µs gap field).
+func FuzzParseTrace(f *testing.F) {
+	seeds := []string{
+		"",
+		"\n\n\n",
+		"# comment only\n",
+		"R 0 512\n",
+		"W 512 1024 2.5\n",
+		"r 4K 1M\nw 1G 512 0.003\n",
+		"R 0 512   \n",                 // trailing whitespace
+		"\tW 512 512\n",                // leading whitespace
+		"R 0 0\n",                      // zero-length op
+		"W 1 512\n",                    // unaligned offset
+		"R 0 513\n",                    // unaligned length
+		"W 18446744073709551615 512\n", // max uint64 offset
+		"R 99999999999999999999 512\n", // overflowing offset
+		"W 18014398509481984K 512\n",   // suffix-multiplied overflow
+		"W 0 4096 1e9\n",               // gap at the cap
+		"W 0 4096 1e300\n",             // gap far past the cap
+		"W 0 4096 -3\n",
+		"W 0 4096 NaN\n",
+		"X 0 512\n",
+		"R 0\n",
+		"R 0 512 1 extra\n",
+		"R 0x200 512\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		ops, err := ParseTrace(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := FormatTrace(&buf, ops); err != nil {
+			t.Fatalf("FormatTrace(%#v) failed: %v", ops, err)
+		}
+		again, err := ParseTrace(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of formatted trace failed: %v\ntrace:\n%s", err, buf.String())
+		}
+		if len(ops) == 0 && len(again) == 0 {
+			return // nil vs empty slice
+		}
+		if !reflect.DeepEqual(ops, again) {
+			t.Fatalf("round trip changed the trace:\nfirst:  %#v\nsecond: %#v\nformatted:\n%s",
+				ops, again, buf.String())
+		}
+	})
+}

@@ -42,17 +42,17 @@ W 2G 512 0
 
 func TestParseTraceErrors(t *testing.T) {
 	cases := []string{
-		"X 0 4096",       // bad op
-		"R 0",            // too few fields
-		"R 0 4096 1 2",   // too many fields
-		"R zz 4096",      // bad offset
-		"R 0 4095",       // misaligned length
-		"R 100 4096",     // misaligned offset
-		"R 0 0",          // zero length
-		"W 0 4096 -3",    // negative gap
-		"W 0 4096 hello", // non-numeric gap
-		"W 0 4096 Inf",   // non-finite gap
-		"W 0 4096 NaN",   // non-finite gap
+		"X 0 4096",                  // bad op
+		"R 0",                       // too few fields
+		"R 0 4096 1 2",              // too many fields
+		"R zz 4096",                 // bad offset
+		"R 0 4095",                  // misaligned length
+		"R 100 4096",                // misaligned offset
+		"R 0 0",                     // zero length
+		"W 0 4096 -3",               // negative gap
+		"W 0 4096 hello",            // non-numeric gap
+		"W 0 4096 Inf",              // non-finite gap
+		"W 0 4096 NaN",              // non-finite gap
 		"R 18014398509481984K 4096", // offset overflows 64 bits
 	}
 	for _, c := range cases {

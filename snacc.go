@@ -25,11 +25,23 @@ import (
 	"snacc/internal/fault"
 	"snacc/internal/fpga"
 	"snacc/internal/nvme"
+	"snacc/internal/obs"
 	"snacc/internal/pcie"
 	"snacc/internal/sim"
 	"snacc/internal/streamer"
 	"snacc/internal/tapasco"
 )
+
+// Span is a traced NVMe command: timestamped pipeline stages from PE
+// acceptance to in-order retirement, plus retry/replay/breaker annotations.
+type Span = obs.Span
+
+// SpanStage identifies one pipeline stage of a Span.
+type SpanStage = obs.Stage
+
+// LatencyHist is a fixed-bucket latency histogram (log-spaced buckets,
+// zero-allocation record path).
+type LatencyHist = obs.Hist
 
 // Variant selects the NVMe Streamer's payload buffer memory (paper §4.3).
 type Variant = streamer.Variant
@@ -60,6 +72,22 @@ type Options struct {
 	// Faults, when non-nil, attaches a deterministic NVMe fault injector
 	// to the SSD and enables the Streamer's retry/timeout recovery.
 	Faults *FaultOptions
+	// Trace, when non-nil, enables per-command span tracing and per-stage
+	// latency histograms. Without it the pipeline is uninstrumented and
+	// pays nothing.
+	Trace *TraceOptions
+}
+
+// TraceOptions configures the observability layer.
+type TraceOptions struct {
+	// SpanLimit caps the completed spans retained for export (the first
+	// SpanLimit to finish; histograms keep aggregating past the cap).
+	// Default obs.DefaultSpanLimit.
+	SpanLimit int
+	// Boundary additionally attaches a PCIe transaction tracer at the
+	// staging-buffer boundary — the position of the paper's §5.2 ILA —
+	// exposed through BoundaryTrace.
+	Boundary bool
 }
 
 // FaultOptions configures seed-driven NVMe fault injection plus the
@@ -142,6 +170,8 @@ type System struct {
 	st       *streamer.Streamer
 	client   *streamer.Client
 	injector *fault.Injector // nil unless Options.Faults was set
+	tracer   *obs.Tracer     // nil unless Options.Trace was set
+	boundary *pcie.Tracer    // nil unless Options.Trace.Boundary was set
 }
 
 // systemBARWindow is where enumeration places discovered device BARs.
@@ -181,6 +211,23 @@ func NewSystem(opts Options) (*System, error) {
 		injector = buildInjector(opts.Faults)
 		injector.Attach(dev)
 	}
+	var tracer *obs.Tracer
+	var boundary *pcie.Tracer
+	if opts.Trace != nil {
+		tracer = obs.NewTracer(opts.Trace.SpanLimit)
+		st.SetTracer(tracer)
+		// The device reports fetch/execute events by qid/cid; the Streamer
+		// owns I/O queue 1 (see AttachStreamer below) and maps the CID back
+		// to its reorder-buffer slot.
+		dev.SetCmdObserver(func(qid, cid uint16, stage obs.Stage, at sim.Time) {
+			if qid == 1 {
+				st.OnDeviceEvent(cid, stage, at)
+			}
+		})
+		if opts.Trace.Boundary {
+			boundary = attachBoundaryTracer(k, pl, st)
+		}
+	}
 	nvmes := pcie.FindByClass(pl.Fabric.Enumerate(systemBARWindow), pcie.ClassNVMe)
 	if len(nvmes) != 1 {
 		return nil, fmt.Errorf("snacc: enumeration found %d NVMe controllers, want 1", len(nvmes))
@@ -207,7 +254,35 @@ func NewSystem(opts Options) (*System, error) {
 		return nil, fmt.Errorf("snacc: initialization stalled")
 	}
 	return &System{kernel: k, plat: pl, dev: dev, st: st,
-		client: streamer.NewClient(st), injector: injector}, nil
+		client: streamer.NewClient(st), injector: injector,
+		tracer: tracer, boundary: boundary}, nil
+}
+
+// attachBoundaryTracer installs a PCIe tracer at the staging-buffer
+// boundary: the card port for the on-card variants (filtered to the payload
+// window), the host port for the host-DRAM variant — exactly where the
+// paper's §5.2 ILA sits.
+func attachBoundaryTracer(k *sim.Kernel, pl *tapasco.Platform, st *streamer.Streamer) *pcie.Tracer {
+	tr := pcie.NewTracer(k)
+	cfg := st.Config()
+	if cfg.Variant != streamer.HostDRAM {
+		base := cfg.WindowBase
+		span := uint64(cfg.ReadBufBytes + cfg.WriteBufBytes)
+		if cfg.Variant == streamer.URAM {
+			span = uint64(cfg.ReadBufBytes)
+		}
+		tr.Filter = func(addr uint64, n int64) bool {
+			return addr >= base && addr < base+span && n >= 4096
+		}
+		pl.Card.AttachTracer(tr)
+		return tr
+	}
+	hostCfg := pl.Config().Host
+	tr.Filter = func(addr uint64, n int64) bool {
+		return addr >= hostCfg.MemBase && n >= 4096
+	}
+	pl.Host.Port.AttachTracer(tr)
+	return tr
 }
 
 // applyFaultRecovery maps FaultOptions onto the Streamer's recovery knobs,
@@ -356,6 +431,31 @@ func (h *Handle) WriteErr(addr uint64, data []byte) error {
 // Sleep advances this process by d nanoseconds of simulated time.
 func (h *Handle) Sleep(d int64) { h.p.Sleep(sim.Time(d)) }
 
+// Spans returns the completed command spans traced so far (nil without
+// Options.Trace).
+func (h *Handle) Spans() []Span { return h.sys.Spans() }
+
+// Trace returns the span tracer, or nil when the system was built without
+// Options.Trace. The tracer exposes per-stage latency histograms, span
+// accounting, and the global breaker/reset/death event timeline.
+func (s *System) Trace() *obs.Tracer { return s.tracer }
+
+// Spans returns the completed command spans traced so far, in completion
+// order (nil without Options.Trace).
+func (s *System) Spans() []Span { return s.tracer.Spans() }
+
+// StageLatency returns the latency histogram of the transition into stage
+// st, or nil without Options.Trace.
+func (s *System) StageLatency(st SpanStage) *LatencyHist { return s.tracer.StageHist(st) }
+
+// CommandLatency returns the end-to-end (accepted → retired) latency
+// histogram for the given direction, or nil without Options.Trace.
+func (s *System) CommandLatency(write bool) *LatencyHist { return s.tracer.E2E(write) }
+
+// BoundaryTrace returns the staging-buffer-boundary PCIe tracer, or nil
+// unless Options.Trace.Boundary was set.
+func (s *System) BoundaryTrace() *pcie.Tracer { return s.boundary }
+
 // Stats is a snapshot of system counters.
 type Stats struct {
 	// Commands submitted/retired by the Streamer and errors seen.
@@ -379,6 +479,14 @@ type Stats struct {
 	CommandsReplayed int64
 	RecoveryTimeNs   int64
 	ControllerDead   bool
+	// Span accounting (all 0 without Options.Trace): spans opened and
+	// closed (equal once the workload drains — the core tracing
+	// invariant), completed spans dropped past the retention limit, and
+	// pipeline events that arrived after their command resolved.
+	SpansOpened     int64
+	SpansClosed     int64
+	SpansDropped    int64
+	TraceLateEvents int64
 	// Payload byte counters.
 	BytesToPE   int64
 	BytesFromPE int64
@@ -408,6 +516,10 @@ func (s *System) Stats() Stats {
 		CommandsReplayed:  s.st.CommandsReplayed(),
 		RecoveryTimeNs:    int64(s.st.RecoveryTime()),
 		ControllerDead:    s.st.Dead(),
+		SpansOpened:       s.tracer.Opened(),
+		SpansClosed:       s.tracer.Closed(),
+		SpansDropped:      s.tracer.Dropped(),
+		TraceLateEvents:   s.tracer.LateEvents(),
 		BytesToPE:         s.st.BytesToPE(),
 		BytesFromPE:       s.st.BytesFromPE(),
 		PCIeCardRx:        s.plat.Card.PayloadRx(),
