@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench cover latency faults crash perfreport
+.PHONY: build test race vet bench cover latency faults crash queues perfreport
 
 build:
 	$(GO) build ./...
@@ -13,10 +13,10 @@ test: vet
 
 # Race-checks the worker pool, the kernel/buffer-pool hot paths it drives,
 # and the fault-injection/recovery machinery (including the controller
-# crash-recovery ladder).
+# crash-recovery ladder and its multi-queue/ring-wrap variants).
 race:
 	$(GO) test -race ./internal/parallel/... ./internal/sim/... ./internal/bufpool/... ./internal/fault/... ./internal/obs/...
-	$(GO) test -race -run 'Fault|Retry|Timeout|CQE|Crash|Breaker|Death|CFS|Degraded|Span' ./internal/streamer/
+	$(GO) test -race -run 'Fault|Retry|Timeout|CQE|Crash|Breaker|Death|CFS|Degraded|Span|Wrap|MultiQueue' ./internal/streamer/
 	$(GO) test -race -run TestParallelDeterminism ./internal/bench/
 
 vet:
@@ -33,6 +33,7 @@ cover:
 		$$2 == "snacc/internal/obs"      && pct + 0 < 85 { bad = bad "  " $$2 ": " pct "% < 85%\n" } \
 		$$2 == "snacc/internal/workload" && pct + 0 < 88 { bad = bad "  " $$2 ": " pct "% < 88%\n" } \
 		$$2 == "snacc/internal/bench"    && pct + 0 < 84 { bad = bad "  " $$2 ": " pct "% < 84%\n" } \
+		$$2 == "snacc/internal/streamer" && pct + 0 < 80 { bad = bad "  " $$2 ": " pct "% < 80%\n" } \
 		END { if (bad != "") { printf "coverage ratchet failed:\n%s", bad; exit 1 } }' cover.txt
 	@rm -f cover.txt
 
@@ -58,6 +59,12 @@ faults:
 crash:
 	$(GO) test -run 'Crash|Breaker|Death|CFS|Degraded|Removal' ./internal/nvme/ ./internal/streamer/ ./internal/bench/ .
 	$(GO) run ./cmd/snaccbench -crash
+
+# Multi-queue submission suite: ring-wrap and crash/integrity tests at
+# IOQueues > 1, then the IOPS-vs-queues×batch sweep -> BENCH_queues.json
+queues:
+	$(GO) test -run 'Wrap|MultiQueue|RandomizedDataIntegrity' ./internal/streamer/ .
+	$(GO) run ./cmd/snaccbench -queues 1,2,4,8
 
 # Serial-vs-parallel suite wall time + kernel throughput -> BENCH_parallel.json
 perfreport:

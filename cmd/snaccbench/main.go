@@ -13,6 +13,7 @@
 //	snaccbench -faults            # fault-injection sweep (goodput vs error rate)
 //	snaccbench -crash             # controller-crash sweep (goodput + MTTR vs crash rate)
 //	snaccbench -latency           # per-stage latency percentiles from span tracing
+//	snaccbench -queues 1,2,4,8    # multi-queue submission sweep, write BENCH_queues.json
 //	snaccbench -all               # everything
 //	snaccbench -all -j 8          # shard independent rigs over 8 workers
 //	snaccbench -perfreport        # write BENCH_parallel.json
@@ -31,9 +32,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"snacc/internal/bench"
 	"snacc/internal/sim"
+	"snacc/internal/streamer"
 )
 
 func main() {
@@ -53,7 +57,43 @@ func main() {
 	faults := flag.Bool("faults", false, "run the NVMe fault-injection sweep (goodput and retry amplification vs error rate)")
 	crash := flag.Bool("crash", false, "run the controller-crash sweep (goodput and MTTR vs crash rate), write BENCH_crash.json")
 	latency := flag.Bool("latency", false, "run the latency-breakdown rig (per-stage latency percentiles from span tracing), write BENCH_latency.json")
+	queuesArg := flag.String("queues", "", "comma-separated I/O queue counts for the multi-queue submission sweep (each 1..8), write BENCH_queues.json")
 	flag.Parse()
+
+	// Flag validation mirrors snacctrace: a value outside the known set is a
+	// usage error (exit 2), not a silent no-op run.
+	fail := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", a...)
+		os.Exit(2)
+	}
+	if *jobs < 1 {
+		fail("invalid -j %d (want >= 1)", *jobs)
+	}
+	switch *fig {
+	case "", "4a", "4b", "4c", "6", "7":
+	default:
+		fail("unknown figure %q (want 4a, 4b, 4c, 6, or 7)", *fig)
+	}
+	switch *table {
+	case "", "1":
+	default:
+		fail("unknown table %q (want 1)", *table)
+	}
+	switch *ablation {
+	case "", "qd", "ooo", "multissd", "gen5", "dram", "hbm", "stripedcase", "mtu", "qp":
+	default:
+		fail("unknown ablation %q (want qd, ooo, multissd, gen5, dram, hbm, stripedcase, mtu, or qp)", *ablation)
+	}
+	var queueCounts []int
+	if *queuesArg != "" {
+		for _, part := range strings.Split(*queuesArg, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 || n > streamer.MaxIOQueues {
+				fail("invalid -queues entry %q (want integers 1..%d)", part, streamer.MaxIOQueues)
+			}
+			queueCounts = append(queueCounts, n)
+		}
+	}
 
 	bench.SetParallelism(*jobs)
 	size := *sizeMiB * sim.MiB
@@ -156,6 +196,23 @@ func main() {
 					os.Exit(1)
 				}
 				fmt.Println("wrote BENCH_crash.json")
+			}
+		})
+	}
+	if *all || *queuesArg != "" {
+		run("multi-queue submission sweep", func() {
+			counts := queueCounts
+			if len(counts) == 0 {
+				counts = []int{1, 2, 4, 8}
+			}
+			table := bench.RenderQueueSweep(bench.QueueSweep(counts, []int{1, 8}, size/4))
+			show(table)
+			if *queuesArg != "" {
+				if err := os.WriteFile("BENCH_queues.json", []byte(table.JSON()+"\n"), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Println("wrote BENCH_queues.json")
 			}
 		})
 	}

@@ -13,55 +13,65 @@ import (
 // every read against a byte-exact shadow model of the device. This is the
 // end-to-end data-path proof: PRP synthesis, command splitting, staging
 // buffers, NAND striping and retirement ordering all have to preserve bytes
-// for it to pass.
+// for it to pass. Every buffer variant runs twice: with the paper's
+// single-SQ submission path and with the path sharded over four coalescing
+// queue pairs, which must be byte-equivalent.
 func TestRandomizedDataIntegrity(t *testing.T) {
 	for _, v := range []Variant{URAM, OnboardDRAM, HostDRAM} {
 		v := v
 		t.Run(v.String(), func(t *testing.T) {
-			fn := true
-			sys := MustNewSystem(Options{Variant: v, Functional: &fn})
-			const span = 4 << 20 // 4 MiB working window
-			shadow := make([]byte, span)
-			rng := sim.NewRand(uint64(v) + 99)
-
-			// Failures are collected and reported outside Execute: t.Fatalf
-			// inside a sim proc goroutine aborts it without unwinding the
-			// kernel and deadlocks the run.
-			var failure string
-			sys.Execute(func(h *Handle) {
-				for op := 0; op < 120; op++ {
-					// 512-aligned offset and length within the window; sizes
-					// cross sector, page and (occasionally) buffer-slot
-					// boundaries.
-					n := (rng.Int63n(96) + 1) * 512
-					addr := uint64(rng.Int63n((span-n)/512)) * 512
-					if rng.Float64() < 0.55 {
-						data := make([]byte, n)
-						for i := range data {
-							data[i] = byte(rng.Int63n(256))
-						}
-						h.Write(addr, data)
-						copy(shadow[addr:], data)
-					} else {
-						got := h.Read(addr, n)
-						want := shadow[addr : addr+uint64(n)]
-						if !bytes.Equal(got, want) {
-							failure = fmt.Sprintf("op %d: read %d@%#x diverged from shadow (first diff at %d)",
-								op, n, addr, firstDiff(got, want))
-							return
-						}
-					}
-				}
-				// Final full-window readback.
-				got := h.Read(0, span)
-				if !bytes.Equal(got, shadow) {
-					failure = fmt.Sprintf("final readback diverged at byte %d", firstDiff(got, shadow))
-				}
-			})
-			if failure != "" {
-				t.Fatal(failure)
-			}
+			runIntegrity(t, Options{Variant: v})
 		})
+		t.Run(v.String()+"-4q", func(t *testing.T) {
+			runIntegrity(t, Options{Variant: v, IOQueues: 4, DoorbellBatch: 8})
+		})
+	}
+}
+
+func runIntegrity(t *testing.T, opts Options) {
+	fn := true
+	opts.Functional = &fn
+	sys := MustNewSystem(opts)
+	const span = 4 << 20 // 4 MiB working window
+	shadow := make([]byte, span)
+	rng := sim.NewRand(uint64(opts.Variant) + 99)
+
+	// Failures are collected and reported outside Execute: t.Fatalf
+	// inside a sim proc goroutine aborts it without unwinding the
+	// kernel and deadlocks the run.
+	var failure string
+	sys.Execute(func(h *Handle) {
+		for op := 0; op < 120; op++ {
+			// 512-aligned offset and length within the window; sizes
+			// cross sector, page and (occasionally) buffer-slot
+			// boundaries.
+			n := (rng.Int63n(96) + 1) * 512
+			addr := uint64(rng.Int63n((span-n)/512)) * 512
+			if rng.Float64() < 0.55 {
+				data := make([]byte, n)
+				for i := range data {
+					data[i] = byte(rng.Int63n(256))
+				}
+				h.Write(addr, data)
+				copy(shadow[addr:], data)
+			} else {
+				got := h.Read(addr, n)
+				want := shadow[addr : addr+uint64(n)]
+				if !bytes.Equal(got, want) {
+					failure = fmt.Sprintf("op %d: read %d@%#x diverged from shadow (first diff at %d)",
+						op, n, addr, firstDiff(got, want))
+					return
+				}
+			}
+		}
+		// Final full-window readback.
+		got := h.Read(0, span)
+		if !bytes.Equal(got, shadow) {
+			failure = fmt.Sprintf("final readback diverged at byte %d", firstDiff(got, shadow))
+		}
+	})
+	if failure != "" {
+		t.Fatal(failure)
 	}
 }
 

@@ -31,3 +31,31 @@ func benchmarkStreamerRead(b *testing.B, ioBytes int64) {
 func BenchmarkStreamerRead4K(b *testing.B) { benchmarkStreamerRead(b, 4*sim.KiB) }
 
 func BenchmarkStreamerRead1M(b *testing.B) { benchmarkStreamerRead(b, sim.MiB) }
+
+// BenchmarkStreamerRead4KMultiQueue is the batched multi-queue variant of
+// BenchmarkStreamerRead4K: four I/O queue pairs with doorbell coalescing at
+// batch 8, so every iteration exercises the chunked round-robin placement,
+// the deferred SQ-tail flush, and the batched CQ-head drain. The coalescing
+// machinery (doorbell payloads recycled through bufpool, preallocated flush
+// closures, the reused dbSlots scratch) must add exactly zero allocations:
+// allocs/op here must match a single-queue read of the same 64 KiB — the
+// residue both report is the fixed per-measure rig overhead (proc spawn,
+// span roots), not the batched paths.
+func BenchmarkStreamerRead4KMultiQueue(b *testing.B) {
+	rig := buildSNAcc(streamer.URAM, func(cfg *streamer.Config) {
+		cfg.IOQueues = 4
+		cfg.DoorbellBatch = 8
+	}, nil)
+	run := func() {
+		rig.measure(func(p *sim.Proc) {
+			rig.c.Read(p, 0, 64*sim.KiB)
+		})
+	}
+	run() // warm the rig (queues created, pools primed, dbSlots grown)
+	b.SetBytes(64 * sim.KiB)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}

@@ -120,6 +120,10 @@ func TestRenderGolden(t *testing.T) {
 			{RatePct: 5, GoodputGB: 6.2, Injected: 13, Errors: 13, Retries: 12,
 				Timeouts: 1, Aborts: 1, Amplification: 1.05},
 		}).String()},
+		{"queuesweep", RenderQueueSweep([]QueueSweepRow{
+			{Queues: 1, DoorbellBatch: 1, KIOPS: 398.4, P99Us: 157.5, DoorbellRatio: 2, Speedup: 1},
+			{Queues: 4, DoorbellBatch: 8, KIOPS: 700.0, P99Us: 144.9, DoorbellRatio: 0.315, Speedup: 1.76},
+		}).String()},
 		{"crashsweep", RenderCrashSweep([]CrashSweepRow{
 			{CrashEveryN: 0, GoodputGB: 6.9},
 			{CrashEveryN: 16, GoodputGB: 4.8, Crashes: 4, Trips: 4, Resets: 4,

@@ -96,7 +96,6 @@ type queuePair struct {
 	cqTail    int // controller post position
 	cqHeadDB  int // last CQ head doorbell from the host
 	cqPhase   bool
-	fetches   int // fetch reads currently in flight
 
 	// cqWait holds completions stalled on CQ space; they drain when the
 	// host advances the CQ head doorbell.
@@ -172,6 +171,13 @@ type Device struct {
 
 	execGate     *callbackGate
 	frontEndBusy sim.Time
+
+	// Fetch scheduler state: the MaxFetchReads budget is device-global (not
+	// per queue), and fetchRR is the round-robin scan pointer that hands the
+	// next credit to the next qid with pending entries — one hot queue
+	// cannot monopolize the fetch engine.
+	fetchReads int
+	fetchRR    int
 
 	// Failure model.
 	mode        CtrlMode
@@ -329,9 +335,9 @@ func (d *Device) revive(gen uint64) {
 	for _, fn := range w {
 		fn()
 	}
-	for _, q := range d.queues {
-		d.kick(q)
-	}
+	// The scheduler scans qids numerically — deterministic, unlike ranging
+	// over the queue map would be.
+	d.kickAll()
 }
 
 // flushParked re-invokes every parked completion closure after a mode or
@@ -619,73 +625,93 @@ func (d *Device) doorbell(off uint64, data []byte) {
 		return
 	}
 	q.sqTailDB = val
-	d.kick(q)
+	d.kickAll()
 }
 
 // debugTrace, when set, receives fetch trace events (tests only).
 var debugTrace func(what string, qid uint16, head, batch, tail int)
 
-// kick issues SQE fetches (batched, up to the ring-wrap boundary, several
-// in flight like a real controller's command-fetch engine) and dispatches
-// fetched commands. Fetch reads travel the same fabric path, so they
-// complete in issue order and q.sqHead — the value reported back to the
-// host in CQEs — advances in order too.
-func (d *Device) kick(q *queuePair) {
-	if !d.fetchAllowed() || d.stale(q) {
+// kickAll runs the fetch scheduler: while the device-global fetch-read
+// budget has credit, scan the queue IDs round-robin from the persistent
+// pointer — numeric qid order, deterministic, never Go map iteration order —
+// and issue one batched SQE fetch per queue with pending entries. Because
+// the budget is shared and each grant moves the pointer past the granted
+// queue, a hot queue gets at most one fetch read per full scan while others
+// wait — the per-queue fairness the multi-queue streamer relies on. With a
+// single active queue every credit lands on it back to back, reproducing the
+// old per-queue loop exactly.
+func (d *Device) kickAll() {
+	if !d.fetchAllowed() {
 		return
 	}
-	for q.fetches < d.cfg.MaxFetchReads {
-		pending := q.pending()
-		if pending == 0 {
+	n := d.cfg.MaxIOQueuePairs + 1 // qid 0 (admin) .. MaxIOQueuePairs
+	scanned := 0
+	for d.fetchReads < d.cfg.MaxFetchReads && scanned < n {
+		qid := uint16(d.fetchRR % n)
+		d.fetchRR = (d.fetchRR + 1) % n
+		q, ok := d.queues[qid]
+		if !ok || q.pending() == 0 {
+			scanned++
+			continue
+		}
+		d.fetchOne(q)
+		scanned = 0
+	}
+}
+
+// fetchOne issues one batched SQE fetch for q (up to FetchBatch entries,
+// bounded by the ring-wrap boundary) and dispatches the entries when the
+// read returns. Fetch reads travel the same fabric path, so they complete in
+// issue order and q.sqHead — the value reported back to the host in CQEs —
+// advances in order too.
+func (d *Device) fetchOne(q *queuePair) {
+	pending := q.pending()
+	batch := pending
+	if batch > d.cfg.FetchBatch {
+		batch = d.cfg.FetchBatch
+	}
+	if untilWrap := q.entries - q.issueHead; batch > untilWrap {
+		batch = untilWrap
+	}
+	fetchHead := q.issueHead
+	q.issueHead = (fetchHead + batch) % q.entries
+	d.fetchReads++
+	if debugTrace != nil {
+		debugTrace("fetch", q.id, fetchHead, batch, q.sqTailDB)
+	}
+	// Fetch buffers recycle through the pool: the completer fills buf
+	// before the callback runs, and every SQE is decoded into a value
+	// before the buffer is released.
+	buf := bufpool.Get(batch * SQESize)
+	d.port.ReadCtrl(q.sqBase+uint64(fetchHead*SQESize), int64(len(buf)), buf, func() {
+		q.sqHead = (fetchHead + batch) % q.entries
+		d.fetchReads--
+		if d.mode == ModeCrashed || d.mode == ModeRemoved || d.stale(q) {
+			// The controller died (or was reset) while the fetch was
+			// on the wire: the entries are never dispatched.
+			bufpool.Put(buf)
 			return
 		}
-		batch := pending
-		if batch > d.cfg.FetchBatch {
-			batch = d.cfg.FetchBatch
-		}
-		if untilWrap := q.entries - q.issueHead; batch > untilWrap {
-			batch = untilWrap
-		}
-		fetchHead := q.issueHead
-		q.issueHead = (fetchHead + batch) % q.entries
-		q.fetches++
-		if debugTrace != nil {
-			debugTrace("fetch", q.id, fetchHead, batch, q.sqTailDB)
-		}
-		// Fetch buffers recycle through the pool: the completer fills buf
-		// before the callback runs, and every SQE is decoded into a value
-		// before the buffer is released.
-		buf := bufpool.Get(batch * SQESize)
-		d.port.ReadCtrl(q.sqBase+uint64(fetchHead*SQESize), int64(len(buf)), buf, func() {
-			q.sqHead = (fetchHead + batch) % q.entries
-			q.fetches--
-			if d.mode == ModeCrashed || d.mode == ModeRemoved || d.stale(q) {
-				// The controller died (or was reset) while the fetch was
-				// on the wire: the entries are never dispatched.
-				bufpool.Put(buf)
-				return
+		for i := 0; i < batch; i++ {
+			cmd, err := UnmarshalCommand(buf[i*SQESize:])
+			if err != nil {
+				panic(err) // 64-byte slices by construction
 			}
-			for i := 0; i < batch; i++ {
-				cmd, err := UnmarshalCommand(buf[i*SQESize:])
-				if err != nil {
-					panic(err) // 64-byte slices by construction
-				}
-				if q.debugOutstanding == nil {
-					q.debugOutstanding = make(map[uint16]bool)
-				}
-				if q.debugOutstanding[cmd.CID] {
-					panic(fmt.Sprintf("nvme: duplicate fetch of CID %d on q%d (slot %d op %#x)", cmd.CID, q.id, fetchHead+i, cmd.Opcode))
-				}
-				q.debugOutstanding[cmd.CID] = true
-				if d.cmdObserver != nil {
-					d.cmdObserver(q.id, cmd.CID, obs.StageFetched, d.k.Now())
-				}
-				d.dispatch(q, cmd)
+			if q.debugOutstanding == nil {
+				q.debugOutstanding = make(map[uint16]bool)
 			}
-			bufpool.Put(buf)
-			d.kick(q)
-		})
-	}
+			if q.debugOutstanding[cmd.CID] {
+				panic(fmt.Sprintf("nvme: duplicate fetch of CID %d on q%d (slot %d op %#x)", cmd.CID, q.id, fetchHead+i, cmd.Opcode))
+			}
+			q.debugOutstanding[cmd.CID] = true
+			if d.cmdObserver != nil {
+				d.cmdObserver(q.id, cmd.CID, obs.StageFetched, d.k.Now())
+			}
+			d.dispatch(q, cmd)
+		}
+		bufpool.Put(buf)
+		d.kickAll()
+	})
 }
 
 // dispatch routes a fetched command through the execution gate and the

@@ -94,6 +94,35 @@ type Config struct {
 	// AddressCalcOverhead is added to PRP window responses in the host
 	// DRAM variant, covering the 4 MiB chunk stitching (§4.3).
 	AddressCalcOverhead sim.Time
+	// IOQueues shards the submission path across this many NVMe I/O queue
+	// pairs (1..MaxIOQueues) with round-robin command placement; the
+	// reorder buffer stays global, so retirement remains strictly in order
+	// across queues. 0 or 1 keeps the paper's single-SQ model and its exact
+	// event timeline.
+	IOQueues int
+	// DoorbellBatch coalesces doorbell writes: the SQ tail doorbell rings
+	// once per DoorbellBatch submitted commands (with the final tail), and
+	// CQ-head updates are likewise posted once per drained run of up to
+	// DoorbellBatch completions. 0 or 1 rings per command, the paper's
+	// behavior. A partial batch flushes after DoorbellFlush.
+	DoorbellBatch int
+	// DoorbellFlush is the debounce window for a partial doorbell batch:
+	// each new command (or consumed completion) pushes the flush deadline
+	// out by this much, so a steady stream rings at the batch threshold and
+	// the timer only pays out when the stream pauses. Only used when
+	// DoorbellBatch > 1.
+	DoorbellFlush sim.Time
+	// RetireCQCost and RetireDoorbellCost decompose RetireReadCost for the
+	// multi-queue path: RetireCQCost is the CQ-engine bookkeeping portion,
+	// replicated per queue pair and therefore divided by IOQueues when the
+	// path is sharded; RetireDoorbellCost is the CQ-head doorbell update,
+	// paid once per drained batch when DoorbellBatch > 1. The remainder
+	// (RetireReadCost - RetireCQCost - RetireDoorbellCost) is the serial
+	// in-order walk that no sharding removes. With IOQueues=1 and
+	// DoorbellBatch=1 the sum equals RetireReadCost exactly, so the default
+	// configuration reproduces the paper's timeline bit for bit.
+	RetireCQCost       sim.Time
+	RetireDoorbellCost sim.Time
 	// OutOfOrder enables the §7 future-work extension: completions retire
 	// as they arrive rather than in order. Buffers then come from a
 	// fixed-size slot pool instead of the in-order ring.
@@ -138,6 +167,28 @@ type Config struct {
 	CFSPollInterval sim.Time
 }
 
+// MaxIOQueues bounds Config.IOQueues: every variant's window layout
+// reserves 2*ctrlRegionGap of control space per queue pair after the PRP
+// region, and the tightest variant (host DRAM) has exactly room for 8 —
+// matching the device model's MaxIOQueuePairs.
+const MaxIOQueues = 8
+
+// ioQueues returns the normalized queue-pair count.
+func (c *Config) ioQueues() int {
+	if c.IOQueues < 1 {
+		return 1
+	}
+	return c.IOQueues
+}
+
+// doorbellBatch returns the normalized doorbell coalescing factor.
+func (c *Config) doorbellBatch() int {
+	if c.DoorbellBatch < 1 {
+		return 1
+	}
+	return c.DoorbellBatch
+}
+
 // recoveryEnabled reports whether the watchdog/retry machinery is active.
 func (c *Config) recoveryEnabled() bool {
 	return c.CmdTimeout > 0 || c.MaxRetries > 0 || c.breakerEnabled()
@@ -162,6 +213,11 @@ func DefaultConfig(name string, windowBase uint64, v Variant) Config {
 		RetireReadCost:    2500 * sim.Nanosecond,
 		RetireWriteCost:   200 * sim.Nanosecond,
 		OOORetireReadCost: 950 * sim.Nanosecond,
+		// CQ bookkeeping + doorbell portions of RetireReadCost (multi-queue
+		// decomposition); the serial in-order walk is the 600 ns remainder.
+		RetireCQCost:       1400 * sim.Nanosecond,
+		RetireDoorbellCost: 500 * sim.Nanosecond,
+		DoorbellFlush:      4 * sim.Microsecond,
 	}
 	switch v {
 	case URAM:

@@ -73,10 +73,16 @@ type Streamer struct {
 	// Device linkage, programmed by the host driver at initialization
 	// (§4.6: "dynamically configuring the NVMe Streamer ... with the
 	// global PCIe addresses of their queues and doorbell registers").
-	sqDoorbell uint64
-	cqDoorbell uint64
 	lbaSize    int64
 	configured bool
+
+	// queues holds the per-queue-pair submission state. The default
+	// configuration has exactly one; Config.IOQueues shards the submission
+	// path across more, with round-robin placement below and the global
+	// reorder buffer preserving in-order retirement across all of them.
+	queues  []*ioQueue
+	rrNext  int // next queue for round-robin command placement
+	rrChunk int // commands placed on rrNext so far (chunked round-robin)
 
 	// Controller-failure circuit breaker (crash-recovery ladder). The
 	// breaker trips on BreakerThreshold consecutive watchdog expiries or a
@@ -91,17 +97,6 @@ type Streamer struct {
 	cstsAddr       uint64 // controller status register bus address
 	cfsPollArmed   bool
 
-	// Submission queue: a FIFO inside the IP that the NVMe controller
-	// reads over PCIe (§4.2, arrow ②). Slots are preallocated out of one
-	// backing array and encoded in place — the NVMe ring discipline
-	// (at most QueueDepth-1 commands in flight) guarantees a slot's entry
-	// has been fetched before the tail wraps onto it. sqFilled tracks
-	// which slots have ever held an entry, preserving the empty-slot
-	// fetch check the old nil-slice representation gave for free.
-	sqRing   [][]byte
-	sqFilled []bool
-	sqTail   int
-
 	// Completion queue: a reorder buffer (§4.2, arrow ⑤). Entries are
 	// indexed by CID.
 	rob        []robEntry
@@ -110,7 +105,6 @@ type Streamer struct {
 	robLive    int
 	robFree    []int // OutOfOrder mode slot freelist
 	robWaiters []*sim.Proc
-	cqConsumed int
 
 	retireProc *sim.Proc
 	cqeSignal  *sim.Chan[struct{}]
@@ -151,6 +145,8 @@ type Streamer struct {
 	ctrlResets     int64
 	replayedCmds   int64
 	recoveryTime   sim.Time
+	doorbellWrites int64
+	cqBatches      int64
 	// Per-command submit→retire latency, by direction.
 	readLat  sim.Histogram
 	writeLat sim.Histogram
@@ -159,6 +155,53 @@ type Streamer struct {
 	// instrumentation sites go through nil-safe obs methods, so the
 	// untraced path costs one nil compare and allocates nothing.
 	tr *obs.Tracer
+}
+
+// ioQueue is the per-queue-pair half of the submission path: the SQ FIFO
+// the NVMe controller reads over PCIe (§4.2, arrow ②), the doorbell
+// addresses the host driver programmed, and the CQ-head consumption cursor
+// for completions this queue delivered into the shared reorder buffer.
+//
+// Slots are preallocated out of one backing array and encoded in place —
+// the NVMe ring discipline (at most QueueDepth-1 commands in flight, which
+// the *global* reorder-buffer gate enforces across all queues) guarantees a
+// slot's entry has been fetched before the tail wraps onto it. sqFilled
+// tracks which slots have ever held an entry, preserving the empty-slot
+// fetch check the old nil-slice representation gave for free.
+type ioQueue struct {
+	sqRing   [][]byte
+	sqFilled []bool
+	sqTail   int
+
+	sqDoorbell uint64
+	cqDoorbell uint64
+
+	// cqConsumed is the CQ head the device has been (or will be) told
+	// about; cqPending counts consumed entries whose head-doorbell update
+	// is still coalesced (DoorbellBatch > 1).
+	cqConsumed int
+	cqPending  int
+
+	// dbPending counts submitted-but-unrung SQ tail advances (dbSlots
+	// lists their reorder-buffer slots, for span stamps); the doorbell
+	// rings with the final tail once dbPending reaches DoorbellBatch or
+	// the debounced flush deadline passes. Each new pending command pushes
+	// the deadline out (interrupt-coalescing style), so a steady stream
+	// rings at the batch threshold and the timer only pays out when the
+	// stream pauses.
+	dbPending    int
+	dbSlots      []int
+	dbDeadline   sim.Time
+	cqDeadline   sim.Time
+	dbFlushArmed bool
+	cqFlushArmed bool
+	sqFlushFn    func() // preallocated timer closures (0 allocs/op path)
+	cqFlushFn    func()
+
+	// live/maxLive gauge this queue's in-flight depth (submitted, not yet
+	// retired) and its high-water mark.
+	live    int64
+	maxLive int64
 }
 
 // robEntry is one in-flight NVMe command.
@@ -182,6 +225,12 @@ type robEntry struct {
 	seq      uint64
 	hasCQE   bool
 	timedOut bool
+	// queue is the I/O queue pair the command was placed on (round-robin
+	// at first submission, sticky across retries and replays so recovery
+	// stays deterministic); enqueued marks that the command actually went
+	// on a queue (a fail-fast against a dead controller never does).
+	queue    int
+	enqueued bool
 	wreq     *writeTracker
 	// rreq/piece sequence the split pieces of one PE read so the
 	// out-of-order configuration still streams data in order (§7: an
@@ -228,6 +277,9 @@ func New(k *sim.Kernel, cfg Config, res Resources, port *pcie.Port, router *pcie
 	if cfg.MaxCmdBytes%4096 != 0 {
 		panic("streamer: command split size must be 4 KiB aligned")
 	}
+	if cfg.IOQueues > MaxIOQueues {
+		panic("streamer: IOQueues exceeds the per-window control-region budget")
+	}
 	s := &Streamer{
 		k:         k,
 		cfg:       cfg,
@@ -237,8 +289,6 @@ func New(k *sim.Kernel, cfg Config, res Resources, port *pcie.Port, router *pcie
 		ReadData:  axis.New(k, cfg.Name+".rddata", cfg.StreamCfg),
 		WriteIn:   axis.New(k, cfg.Name+".wr", cfg.StreamCfg),
 		WriteResp: axis.New(k, cfg.Name+".wrresp", cfg.StreamCfg),
-		sqRing:    make([][]byte, cfg.QueueDepth),
-		sqFilled:  make([]bool, cfg.QueueDepth),
 		rob:       make([]robEntry, cfg.QueueDepth),
 		prpReg:    make([]prpRegVal, cfg.QueueDepth),
 		submitFSM: sim.NewServer(k),
@@ -247,9 +297,26 @@ func New(k *sim.Kernel, cfg Config, res Resources, port *pcie.Port, router *pcie
 		sendQ:     sim.NewChan[sendItem](k, 8),
 		lbaSize:   512,
 	}
-	sqeBacking := make([]byte, cfg.QueueDepth*nvme.SQESize)
-	for i := range s.sqRing {
-		s.sqRing[i] = sqeBacking[i*nvme.SQESize : (i+1)*nvme.SQESize]
+	// One SQ FIFO (full QueueDepth deep — the global in-flight gate bounds
+	// every queue's occupancy) per queue pair, all slots carved from one
+	// backing array. The flush closures are built once so arming a doorbell
+	// coalescing timer allocates nothing per burst.
+	s.queues = make([]*ioQueue, cfg.ioQueues())
+	sqeBacking := make([]byte, len(s.queues)*cfg.QueueDepth*nvme.SQESize)
+	for qi := range s.queues {
+		q := &ioQueue{
+			sqRing:   make([][]byte, cfg.QueueDepth),
+			sqFilled: make([]bool, cfg.QueueDepth),
+			dbSlots:  make([]int, 0, cfg.QueueDepth),
+		}
+		base := qi * cfg.QueueDepth * nvme.SQESize
+		for i := range q.sqRing {
+			q.sqRing[i] = sqeBacking[base+i*nvme.SQESize : base+(i+1)*nvme.SQESize]
+		}
+		qi := qi
+		q.sqFlushFn = func() { s.sqFlushTimer(qi) }
+		q.cqFlushFn = func() { s.cqFlushTimer(qi) }
+		s.queues[qi] = q
 	}
 	if cfg.OutOfOrder {
 		for i := 0; i < cfg.QueueDepth; i++ {
@@ -281,14 +348,26 @@ func New(k *sim.Kernel, cfg Config, res Resources, port *pcie.Port, router *pcie
 	return s
 }
 
-// Configure programs the device doorbell addresses; called by the host
-// driver after it created the I/O queue pair on the SSD.
+// Configure programs the device doorbell addresses of the first I/O queue
+// pair and the namespace LBA size; called by the host driver after it
+// created the queue pair on the SSD. Multi-queue configurations program the
+// remaining pairs with ConfigureQueue.
 func (s *Streamer) Configure(sqDoorbell, cqDoorbell uint64, lbaSize int64) {
-	s.sqDoorbell = sqDoorbell
-	s.cqDoorbell = cqDoorbell
+	s.queues[0].sqDoorbell = sqDoorbell
+	s.queues[0].cqDoorbell = cqDoorbell
 	s.lbaSize = lbaSize
 	s.configured = true
 }
+
+// ConfigureQueue programs the doorbell addresses of I/O queue pair i
+// (0-based streamer index; the device-side qid is the driver's business).
+func (s *Streamer) ConfigureQueue(i int, sqDoorbell, cqDoorbell uint64) {
+	s.queues[i].sqDoorbell = sqDoorbell
+	s.queues[i].cqDoorbell = cqDoorbell
+}
+
+// IOQueues returns the number of I/O queue pairs this streamer drives.
+func (s *Streamer) IOQueues() int { return len(s.queues) }
 
 // ConfigureStatus programs the bus address of the device's controller
 // status register (CSTS), enabling the fast crash-detect poll.
@@ -386,6 +465,27 @@ func (s *Streamer) CommandsReplayed() int64 { return s.replayedCmds }
 // for the mean time to recover.
 func (s *Streamer) RecoveryTime() sim.Time { return s.recoveryTime }
 
+// DoorbellWrites returns the total SQ-tail and CQ-head doorbell writes
+// posted over PCIe. Without coalescing every command costs two (one tail
+// ring, one head update); DoorbellBatch amortizes both sides, and
+// DoorbellWrites / CommandsSubmitted is the amortization ratio the -queues
+// sweep reports.
+func (s *Streamer) DoorbellWrites() int64 { return s.doorbellWrites }
+
+// CQBatches returns how many CQ-head doorbell updates acknowledged a
+// coalesced run of drained completions (0 unless DoorbellBatch > 1).
+func (s *Streamer) CQBatches() int64 { return s.cqBatches }
+
+// QueueDepthHighWater returns the per-queue in-flight high-water marks
+// (submitted, not yet retired), one entry per I/O queue pair.
+func (s *Streamer) QueueDepthHighWater() []int64 {
+	out := make([]int64, len(s.queues))
+	for i, q := range s.queues {
+		out[i] = q.maxLive
+	}
+	return out
+}
+
 // Dead reports whether the controller was declared permanently dead: the
 // reset budget was exhausted (or no reset handler exists). All in-flight
 // and future commands fail fast with nvme.StatusControllerUnavailable.
@@ -465,6 +565,9 @@ func (s *Streamer) robClaim() int {
 }
 
 func (s *Streamer) robRelease(slot int) {
+	if e := &s.rob[slot]; e.enqueued {
+		s.queues[e.queue].live--
+	}
 	s.rob[slot] = robEntry{}
 	s.robLive--
 	if s.cfg.OutOfOrder {
@@ -551,6 +654,24 @@ func (s *Streamer) submit(p *sim.Proc, slot int, op uint8, devAddr uint64, bufOf
 		s.cqeSignal.TryPut(struct{}{})
 		return
 	}
+	// Round-robin queue placement, decided once per command: retries and
+	// post-reset replays stay on the same queue, so recovery ordering is
+	// deterministic and the device-side CID bookkeeping never migrates.
+	// Placement advances in chunks of DoorbellBatch so consecutive commands
+	// land on the same SQ and a coalesced batch can actually form there; at
+	// batch 1 this degenerates to plain per-command round-robin.
+	e.queue = s.rrNext
+	s.rrChunk++
+	if s.rrChunk >= s.cfg.doorbellBatch() {
+		s.rrChunk = 0
+		s.rrNext = (s.rrNext + 1) % len(s.queues)
+	}
+	e.enqueued = true
+	q := s.queues[e.queue]
+	q.live++
+	if q.live > q.maxLive {
+		q.maxLive = q.live
+	}
 	s.encodeAndRing(slot)
 }
 
@@ -582,23 +703,95 @@ func (s *Streamer) encodeAndRing(slot int) {
 	default:
 		cmd.PRP2 = s.prpPointer(slot, e.isWrite, e.bufOff)
 	}
-	cmd.MarshalInto(s.sqRing[s.sqTail])
-	s.sqFilled[s.sqTail] = true
-	s.sqTail = (s.sqTail + 1) % s.cfg.QueueDepth
+	q := s.queues[e.queue]
+	e.span.SetQueue(e.queue)
+	cmd.MarshalInto(q.sqRing[q.sqTail])
+	q.sqFilled[q.sqTail] = true
+	q.sqTail = (q.sqTail + 1) % s.cfg.QueueDepth
 	s.cmdsSubmitted++
+	s.tr.CountCommand()
 	if s.cfg.CmdTimeout > 0 {
 		seq := e.seq
 		s.k.After(s.cfg.CmdTimeout, func() { s.onDeadline(slot, seq) })
 	}
 	s.armCFSPoll()
-	e.span.Mark(obs.StageDoorbell, s.k.Now())
-	s.ringDoorbell(s.sqDoorbell, uint32(s.sqTail))
+	if s.cfg.doorbellBatch() <= 1 {
+		// Uncoalesced: one tail ring per command, the paper's behavior.
+		e.span.Mark(obs.StageDoorbell, s.k.Now())
+		s.ringDoorbell(q.sqDoorbell, uint32(q.sqTail))
+		return
+	}
+	// Coalesced: the ring is deferred until DoorbellBatch commands have
+	// accumulated or the debounced flush deadline passes, and then carries
+	// the final tail — one posted write covers the whole burst. Each new
+	// command pushes the deadline out DoorbellFlush, so a steady stream
+	// rings at the threshold and the timer only fires when the stream
+	// pauses. The span's doorbell stamp records when the command's tail
+	// actually went on the wire.
+	q.dbPending++
+	q.dbSlots = append(q.dbSlots, slot)
+	if q.dbPending >= s.cfg.doorbellBatch() {
+		s.flushSQ(e.queue)
+		return
+	}
+	q.dbDeadline = s.k.Now() + s.cfg.DoorbellFlush
+	if !q.dbFlushArmed {
+		q.dbFlushArmed = true
+		s.k.After(s.cfg.DoorbellFlush, q.sqFlushFn)
+	}
+}
+
+// flushSQ rings queue qi's SQ tail doorbell with the final tail, covering
+// every command coalesced since the previous ring. Mid-recovery the ring is
+// withheld: the breaker's replay resets the queue cursors and re-rings (see
+// replay), and a dead controller no longer listens at all.
+func (s *Streamer) flushSQ(qi int) {
+	q := s.queues[qi]
+	if q.dbPending == 0 {
+		return
+	}
+	if s.dead {
+		q.dbPending = 0
+		q.dbSlots = q.dbSlots[:0]
+		return
+	}
+	if s.breakerOpen {
+		return
+	}
+	q.dbPending = 0
+	for _, slot := range q.dbSlots {
+		e := &s.rob[slot]
+		if e.used && !e.done && e.enqueued && e.queue == qi {
+			e.span.Mark(obs.StageDoorbell, s.k.Now())
+		}
+	}
+	q.dbSlots = q.dbSlots[:0]
+	s.ringDoorbell(q.sqDoorbell, uint32(q.sqTail))
+}
+
+// sqFlushTimer is the deferred flush for a partial doorbell batch. If new
+// commands pushed the deadline since the timer was armed, it re-arms for the
+// remainder instead of flushing early (debounce).
+func (s *Streamer) sqFlushTimer(qi int) {
+	q := s.queues[qi]
+	q.dbFlushArmed = false
+	if q.dbPending == 0 {
+		return
+	}
+	if d := q.dbDeadline - s.k.Now(); d > 0 {
+		q.dbFlushArmed = true
+		s.k.After(d, q.sqFlushFn)
+		return
+	}
+	s.flushSQ(qi)
 }
 
 // ringDoorbell posts a 4-byte doorbell write through a recycled buffer. The
 // device's register completer decodes the value synchronously at delivery,
 // after which the buffer returns to the pool.
 func (s *Streamer) ringDoorbell(addr uint64, val uint32) {
+	s.doorbellWrites++
+	s.tr.CountDoorbell()
 	b := bufpool.Get(4)
 	b[0], b[1], b[2], b[3] = byte(val), byte(val>>8), byte(val>>16), byte(val>>24)
 	s.port.Write(addr, 4, b, func() { bufpool.Put(b) })
@@ -720,12 +913,12 @@ func (s *Streamer) writeLoop(p *sim.Proc) {
 // not fatal: NVMe hosts must tolerate spurious completions, and under fault
 // injection the original completion of a timed-out, resubmitted command can
 // legitimately arrive after the retry already resolved the slot.
-func (s *Streamer) onCQE(cqe nvme.Completion) {
+func (s *Streamer) onCQE(qi int, cqe nvme.Completion) {
 	slot := int(cqe.CID)
 	if slot < 0 || slot >= len(s.rob) || !s.rob[slot].used || s.rob[slot].done {
 		s.protocolErrors++
 		s.tr.LateEvent()
-		s.consumeCQE()
+		s.consumeCQE(qi)
 		return
 	}
 	e := &s.rob[slot]
@@ -743,25 +936,80 @@ func (s *Streamer) onCQE(cqe nvme.Completion) {
 	s.cqeSignal.TryPut(struct{}{})
 }
 
-// InjectCQE delivers a raw completion entry to the reorder buffer exactly
-// as the CQ window completer does — a hook for protocol-robustness tests.
-func (s *Streamer) InjectCQE(cqe nvme.Completion) { s.onCQE(cqe) }
+// InjectCQE delivers a raw completion entry to the first queue's reorder-
+// buffer window exactly as the CQ window completer does — a hook for
+// protocol-robustness tests.
+func (s *Streamer) InjectCQE(cqe nvme.Completion) { s.onCQE(0, cqe) }
 
-// consumeCQE advances the completion-queue head doorbell by one consumed
+// consumeCQE advances queue qi's completion-queue head by one consumed
 // entry. Every completion the device actually posted must pass through here
 // exactly once — including protocol-error drops and error completions
 // absorbed by the retry path — or the device's CQ-occupancy accounting
 // drifts and completions stall on a phantom full queue. Timeout aborts
 // never had a completion and must not ring.
-func (s *Streamer) consumeCQE() {
-	s.cqConsumed = (s.cqConsumed + 1) % s.cfg.QueueDepth
+//
+// With DoorbellBatch > 1 the head-doorbell write itself is coalesced: it is
+// posted once per drained run of up to DoorbellBatch entries, with a
+// debounced timer backstop (each consume pushes the deadline out
+// DoorbellFlush) guaranteeing the head never lags a paused pipeline by more
+// than the flush window per entry. The device tolerates the lag by
+// construction: at most QueueDepth-1 commands are ever in flight, which is
+// exactly the CQ occupancy a stale head still leaves room for.
+func (s *Streamer) consumeCQE(qi int) {
+	q := s.queues[qi]
+	q.cqConsumed = (q.cqConsumed + 1) % s.cfg.QueueDepth
+	if s.cfg.doorbellBatch() > 1 {
+		q.cqPending++
+		if q.cqPending >= s.cfg.doorbellBatch() {
+			s.flushCQ(qi)
+			return
+		}
+		q.cqDeadline = s.k.Now() + s.cfg.DoorbellFlush
+		if !q.cqFlushArmed {
+			q.cqFlushArmed = true
+			s.k.After(s.cfg.DoorbellFlush, q.cqFlushFn)
+		}
+		return
+	}
 	if s.breakerOpen || s.dead {
 		// Mid-recovery the doorbell may hit a half-rebuilt (or absent)
 		// controller; the CQ head re-syncs to zero at replay, and a dead
 		// controller no longer counts occupancy at all.
 		return
 	}
-	s.ringDoorbell(s.cqDoorbell, uint32(s.cqConsumed))
+	s.ringDoorbell(q.cqDoorbell, uint32(q.cqConsumed))
+}
+
+// flushCQ posts queue qi's coalesced CQ-head doorbell update, covering
+// every entry consumed since the previous one.
+func (s *Streamer) flushCQ(qi int) {
+	q := s.queues[qi]
+	if q.cqPending == 0 {
+		return
+	}
+	q.cqPending = 0
+	if s.breakerOpen || s.dead {
+		return
+	}
+	s.cqBatches++
+	s.ringDoorbell(q.cqDoorbell, uint32(q.cqConsumed))
+}
+
+// cqFlushTimer is the deferred CQ-head flush backstop, debounced the same
+// way as sqFlushTimer: fresh consumes push the deadline, so a steady drain
+// rings at the batch threshold and the timer pays out only at a pause.
+func (s *Streamer) cqFlushTimer(qi int) {
+	q := s.queues[qi]
+	q.cqFlushArmed = false
+	if q.cqPending == 0 {
+		return
+	}
+	if d := q.cqDeadline - s.k.Now(); d > 0 {
+		q.cqFlushArmed = true
+		s.k.After(d, q.cqFlushFn)
+		return
+	}
+	s.flushCQ(qi)
 }
 
 // onDeadline is the watchdog: fired CmdTimeout after the (re)submission
@@ -823,7 +1071,7 @@ func (s *Streamer) maybeRetry(slot int) bool {
 	// clear the completion state before the command goes back out.
 	if e.hasCQE {
 		e.hasCQE = false
-		s.consumeCQE()
+		s.consumeCQE(e.queue)
 	}
 	e.done = false
 	e.status = nvme.StatusSuccess
@@ -963,13 +1211,40 @@ func (s *Streamer) recoverCtrl(p *sim.Proc) {
 // same staged bytes, which is idempotent. Commands that completed before
 // the crash keep their results and retire normally.
 func (s *Streamer) replay(p *sim.Proc) {
-	s.sqTail = 0
-	s.cqConsumed = 0
+	// The rebuilt queues start empty on every pair: SQ tails and CQ heads
+	// return to zero, and doorbell batches coalesced before the crash are
+	// discarded — their commands are in the in-flight window below and
+	// re-coalesce as they re-encode.
+	for _, q := range s.queues {
+		q.sqTail = 0
+		q.cqConsumed = 0
+		q.cqPending = 0
+		q.dbPending = 0
+		q.dbSlots = q.dbSlots[:0]
+	}
 	for _, slot := range s.inflightOrder() {
 		occupy(p, s.submitFSM, s.cfg.SubmitOverhead)
 		s.replayedCmds++
 		s.rob[slot].span.Annotate(obs.AnnotReplay, p.Now())
 		s.encodeAndRing(slot)
+	}
+	// flushSQ withholds coalesced rings while the breaker is open (a stale
+	// flush must not hit a half-rebuilt controller), but the replay itself
+	// runs under the open breaker — force each queue's final tail out now so
+	// the rebuilt controller sees the whole replayed window.
+	for qi, q := range s.queues {
+		if q.dbPending == 0 {
+			continue
+		}
+		q.dbPending = 0
+		for _, slot := range q.dbSlots {
+			e := &s.rob[slot]
+			if e.used && !e.done && e.enqueued && e.queue == qi {
+				e.span.Mark(obs.StageDoorbell, p.Now())
+			}
+		}
+		q.dbSlots = q.dbSlots[:0]
+		s.ringDoorbell(q.sqDoorbell, uint32(q.sqTail))
 	}
 }
 
@@ -1001,6 +1276,11 @@ func (s *Streamer) inflightOrder() []int {
 func (s *Streamer) declareDead() {
 	s.dead = true
 	s.tr.Event(obs.AnnotDead, s.k.Now())
+	for _, q := range s.queues {
+		q.dbPending = 0
+		q.dbSlots = q.dbSlots[:0]
+		q.cqPending = 0
+	}
 	for i := range s.rob {
 		e := &s.rob[i]
 		if e.used && !e.done {
@@ -1082,6 +1362,8 @@ func (s *Streamer) retireLoop(p *sim.Proc) {
 	for {
 		slot := s.nextRetirable()
 		if slot < 0 {
+			// Nothing retirable: park. Coalesced CQ-head updates stay armed
+			// on their debounced timers and flush on their own.
 			s.cqeSignal.Get(p)
 			continue
 		}
@@ -1094,7 +1376,7 @@ func (s *Streamer) retireLoop(p *sim.Proc) {
 		}
 		cost := s.cfg.RetireWriteCost
 		if !e.isWrite {
-			cost = s.cfg.RetireReadCost
+			cost = s.retireReadCost()
 			if s.cfg.OutOfOrder {
 				cost = s.cfg.OOORetireReadCost
 			}
@@ -1146,9 +1428,28 @@ func (s *Streamer) retireLoop(p *sim.Proc) {
 		s.robRelease(slot)
 		s.cmdsRetired++
 		if hadCQE {
-			s.consumeCQE()
+			s.consumeCQE(e.queue)
 		}
 	}
+}
+
+// retireReadCost is the per-command in-order read retirement cost under the
+// multi-queue decomposition: the serial in-order walk is paid in full, the
+// CQ-engine bookkeeping shards across the queue pairs, and the head-doorbell
+// update amortizes over the coalescing batch. With one queue and no batching
+// it is exactly RetireReadCost, so the default configuration reproduces the
+// paper's timeline bit for bit.
+func (s *Streamer) retireReadCost() sim.Time {
+	n := s.cfg.ioQueues()
+	b := s.cfg.doorbellBatch()
+	if n == 1 && b == 1 {
+		return s.cfg.RetireReadCost
+	}
+	serial := s.cfg.RetireReadCost - s.cfg.RetireCQCost - s.cfg.RetireDoorbellCost
+	if serial < 0 {
+		serial = 0
+	}
+	return serial + s.cfg.RetireCQCost/sim.Time(n) + s.cfg.RetireDoorbellCost/sim.Time(b)
 }
 
 // sendItem is one retired command handed to the send stage.

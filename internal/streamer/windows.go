@@ -82,6 +82,14 @@ func nextPow2(n int64) int64 {
 
 func (s *Streamer) windowSize() int64 { return s.layout().size }
 
+// sqOffFor / cqOffFor place I/O queue pair i's control regions: each pair
+// occupies 2*ctrlRegionGap after the layout's base SQ offset. Every variant
+// reserves at least MaxIOQueues*2*ctrlRegionGap of control space (the host
+// DRAM window has exactly that — the source of the MaxIOQueues bound), and a
+// QueueDepth-1024 SQ of 64-byte entries fills one gap exactly.
+func (lo windowLayout) sqOffFor(i int) int64 { return lo.sqOff + int64(i)*2*ctrlRegionGap }
+func (lo windowLayout) cqOffFor(i int) int64 { return lo.sqOffFor(i) + ctrlRegionGap }
+
 // installWindows wires the streamer's sub-regions into the FPGA BAR router.
 func (s *Streamer) installWindows(router *pcie.RangeRouter) {
 	lo := s.layout()
@@ -97,16 +105,24 @@ func (s *Streamer) installWindows(router *pcie.RangeRouter) {
 		panic("streamer: host-DRAM variant needs pinned host chunk buffers")
 	}
 	router.AddRange(s.cfg.WindowBase+uint64(lo.prpOff), lo.prpSize, &prpWindow{s: s})
-	router.AddRange(s.cfg.WindowBase+uint64(lo.sqOff), int64(s.cfg.QueueDepth*nvme.SQESize), &sqWindow{s: s})
-	router.AddRange(s.cfg.WindowBase+uint64(lo.cqOff), int64(s.cfg.QueueDepth*nvme.CQESize), &cqWindow{s: s})
+	for qi := range s.queues {
+		router.AddRange(s.cfg.WindowBase+uint64(lo.sqOffFor(qi)), int64(s.cfg.QueueDepth*nvme.SQESize), &sqWindow{s: s, qi: qi})
+		router.AddRange(s.cfg.WindowBase+uint64(lo.cqOffFor(qi)), int64(s.cfg.QueueDepth*nvme.CQESize), &cqWindow{s: s, qi: qi})
+	}
 }
 
 // SQBusAddr and CQBusAddr are the queue base addresses the host driver
-// passes to CreateIOSQ/CreateIOCQ.
-func (s *Streamer) SQBusAddr() uint64 { return s.cfg.WindowBase + uint64(s.layout().sqOff) }
+// passes to CreateIOSQ/CreateIOCQ for I/O queue pair i (0-based streamer
+// index).
+func (s *Streamer) SQBusAddr(i int) uint64 {
+	return s.cfg.WindowBase + uint64(s.layout().sqOffFor(i))
+}
 
-// CQBusAddr returns the completion-queue (reorder buffer) bus address.
-func (s *Streamer) CQBusAddr() uint64 { return s.cfg.WindowBase + uint64(s.layout().cqOff) }
+// CQBusAddr returns queue pair i's completion-queue (reorder buffer window)
+// bus address.
+func (s *Streamer) CQBusAddr(i int) uint64 {
+	return s.cfg.WindowBase + uint64(s.layout().cqOffFor(i))
+}
 
 // ---- payload buffer plumbing ----
 
@@ -228,25 +244,29 @@ func (w *dataWindow) CompleteWrite(addr uint64, n int64, data []byte) {
 	w.s.res.Local.WriteAccess(w.s.res.LocalBase+rel, n, data, func() {})
 }
 
-// sqWindow serves the controller's SQE fetches from the in-IP FIFO
-// (arrow ②).
-type sqWindow struct{ s *Streamer }
+// sqWindow serves the controller's SQE fetches from queue pair qi's in-IP
+// FIFO (arrow ②).
+type sqWindow struct {
+	s  *Streamer
+	qi int
+}
 
 const fifoReadLatency = 50 * sim.Nanosecond
 
 func (w *sqWindow) CompleteRead(addr uint64, n int64, buf []byte, done func()) {
 	s := w.s
-	rel := int64(addr - s.cfg.WindowBase - uint64(s.layout().sqOff))
+	q := s.queues[w.qi]
+	rel := int64(addr - s.cfg.WindowBase - uint64(s.layout().sqOffFor(w.qi)))
 	if rel%nvme.SQESize != 0 || n%nvme.SQESize != 0 {
 		panic("streamer: partial SQE fetch")
 	}
 	if buf != nil {
 		for off := int64(0); off < n; off += nvme.SQESize {
 			idx := int((rel + off) / nvme.SQESize)
-			if !s.sqFilled[idx] {
+			if !q.sqFilled[idx] {
 				panic(fmt.Sprintf("streamer: controller fetched empty SQ slot %d", idx))
 			}
-			copy(buf[off:off+nvme.SQESize], s.sqRing[idx])
+			copy(buf[off:off+nvme.SQESize], q.sqRing[idx])
 		}
 	}
 	s.k.After(fifoReadLatency, done)
@@ -256,9 +276,12 @@ func (w *sqWindow) CompleteWrite(addr uint64, n int64, data []byte) {
 	panic("streamer: SQ window is read-only for the device")
 }
 
-// cqWindow receives the controller's completion writes into the reorder
-// buffer (arrow ⑤).
-type cqWindow struct{ s *Streamer }
+// cqWindow receives the controller's completion writes for queue pair qi
+// into the shared reorder buffer (arrow ⑤).
+type cqWindow struct {
+	s  *Streamer
+	qi int
+}
 
 func (w *cqWindow) CompleteRead(addr uint64, n int64, buf []byte, done func()) {
 	panic("streamer: CQ window is write-only for the device")
@@ -272,5 +295,5 @@ func (w *cqWindow) CompleteWrite(addr uint64, n int64, data []byte) {
 	if err != nil {
 		panic(err)
 	}
-	w.s.onCQE(cqe)
+	w.s.onCQE(w.qi, cqe)
 }

@@ -154,26 +154,9 @@ func (d *Driver) AttachStreamer(p *sim.Proc, st *streamer.Streamer, qid uint16) 
 		iommu.Grant(d.pl.cfg.CardName, hostCfg.MemBase, hostCfg.MemSize)
 	}
 
-	depth := cfg.QueueDepth
-	if _, err := d.adminCmd(p, nvme.Command{
-		Opcode: nvme.OpCreateIOCQ,
-		PRP1:   st.CQBusAddr(),
-		CDW10:  uint32(qid) | uint32(depth-1)<<16,
-		CDW11:  1,
-	}); err != nil {
-		return fmt.Errorf("create IOCQ: %w", err)
+	if err := d.createStreamerQueues(p, st, qid); err != nil {
+		return err
 	}
-	if _, err := d.adminCmd(p, nvme.Command{
-		Opcode: nvme.OpCreateIOSQ,
-		PRP1:   st.SQBusAddr(),
-		CDW10:  uint32(qid) | uint32(depth-1)<<16,
-		CDW11:  1 | uint32(qid)<<16,
-	}); err != nil {
-		return fmt.Errorf("create IOSQ: %w", err)
-	}
-	sqDB := d.bar + nvme.RegDoorbellBase + uint64(2*qid)*4
-	cqDB := d.bar + nvme.RegDoorbellBase + uint64(2*qid+1)*4
-	st.Configure(sqDB, cqDB, d.lbaSize)
 	// Wire the crash-recovery ladder: the Streamer polls CSTS for fatal
 	// status and, when its breaker trips, calls back into the driver to
 	// reset the controller and rebuild both queue levels.
@@ -181,6 +164,42 @@ func (d *Driver) AttachStreamer(p *sim.Proc, st *streamer.Streamer, qid uint16) 
 	st.SetResetHandler(func(p *sim.Proc) error {
 		return d.ResetAndReattach(p, st, qid)
 	})
+	return nil
+}
+
+// createStreamerQueues creates one SSD I/O queue pair per Streamer queue —
+// device qids qid..qid+IOQueues-1 — each pointing at the matching SQ/CQ
+// window inside the Streamer's BAR region, and programs the Streamer with
+// the doorbell addresses. Shared by first attach and post-reset reattach
+// (the admin path is identical; the Streamer's replay re-syncs its cursors).
+func (d *Driver) createStreamerQueues(p *sim.Proc, st *streamer.Streamer, qid uint16) error {
+	depth := st.Config().QueueDepth
+	for i := 0; i < st.IOQueues(); i++ {
+		id := qid + uint16(i)
+		if _, err := d.adminCmd(p, nvme.Command{
+			Opcode: nvme.OpCreateIOCQ,
+			PRP1:   st.CQBusAddr(i),
+			CDW10:  uint32(id) | uint32(depth-1)<<16,
+			CDW11:  1,
+		}); err != nil {
+			return fmt.Errorf("create IOCQ %d: %w", id, err)
+		}
+		if _, err := d.adminCmd(p, nvme.Command{
+			Opcode: nvme.OpCreateIOSQ,
+			PRP1:   st.SQBusAddr(i),
+			CDW10:  uint32(id) | uint32(depth-1)<<16,
+			CDW11:  1 | uint32(id)<<16,
+		}); err != nil {
+			return fmt.Errorf("create IOSQ %d: %w", id, err)
+		}
+		sqDB := d.bar + nvme.RegDoorbellBase + uint64(2*id)*4
+		cqDB := d.bar + nvme.RegDoorbellBase + uint64(2*id+1)*4
+		if i == 0 {
+			st.Configure(sqDB, cqDB, d.lbaSize)
+		} else {
+			st.ConfigureQueue(i, sqDB, cqDB)
+		}
+	}
 	return nil
 }
 
@@ -236,32 +255,12 @@ func (d *Driver) ResetController(p *sim.Proc) error {
 	return nil
 }
 
-// ReattachQueues recreates I/O queue pair qid at the Streamer's existing
-// window addresses after a controller reset. IOMMU grants and the Streamer's
-// doorbell programming from AttachStreamer are still valid; re-running
-// Configure only refreshes them idempotently.
+// ReattachQueues recreates I/O queue pairs qid..qid+IOQueues-1 at the
+// Streamer's existing window addresses after a controller reset. IOMMU
+// grants and the Streamer's doorbell programming from AttachStreamer are
+// still valid; re-running Configure only refreshes them idempotently.
 func (d *Driver) ReattachQueues(p *sim.Proc, st *streamer.Streamer, qid uint16) error {
-	depth := st.Config().QueueDepth
-	if _, err := d.adminCmd(p, nvme.Command{
-		Opcode: nvme.OpCreateIOCQ,
-		PRP1:   st.CQBusAddr(),
-		CDW10:  uint32(qid) | uint32(depth-1)<<16,
-		CDW11:  1,
-	}); err != nil {
-		return fmt.Errorf("re-create IOCQ: %w", err)
-	}
-	if _, err := d.adminCmd(p, nvme.Command{
-		Opcode: nvme.OpCreateIOSQ,
-		PRP1:   st.SQBusAddr(),
-		CDW10:  uint32(qid) | uint32(depth-1)<<16,
-		CDW11:  1 | uint32(qid)<<16,
-	}); err != nil {
-		return fmt.Errorf("re-create IOSQ: %w", err)
-	}
-	sqDB := d.bar + nvme.RegDoorbellBase + uint64(2*qid)*4
-	cqDB := d.bar + nvme.RegDoorbellBase + uint64(2*qid+1)*4
-	st.Configure(sqDB, cqDB, d.lbaSize)
-	return nil
+	return d.createStreamerQueues(p, st, qid)
 }
 
 // ResetAndReattach is the full recovery sequence the Streamer's circuit

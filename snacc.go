@@ -60,6 +60,16 @@ type Options struct {
 	// QueueDepth is the NVMe submission queue / reorder buffer depth.
 	// Default 64, as in the paper.
 	QueueDepth int
+	// IOQueues shards the Streamer's submission path across this many NVMe
+	// I/O queue pairs (1..8) with round-robin placement; the reorder buffer
+	// stays global so retirement remains strictly in order. 0 or 1 keeps
+	// the paper's single-queue model with its exact event timeline.
+	IOQueues int
+	// DoorbellBatch coalesces doorbell writes: SQ tail doorbells ring once
+	// per DoorbellBatch submitted commands (with the final tail) and CQ-head
+	// updates post once per drained run of up to DoorbellBatch completions.
+	// 0 or 1 rings per command, as in the paper.
+	DoorbellBatch int
 	// OutOfOrder enables the §7 out-of-order retirement extension.
 	OutOfOrder bool
 	// Functional moves real payload bytes through the whole stack
@@ -188,6 +198,12 @@ func NewSystem(opts Options) (*System, error) {
 	if opts.Faults != nil && opts.Faults.CrashEveryNCmds == 1 {
 		return nil, fmt.Errorf("snacc: CrashEveryNCmds must be >= 2 (a controller that crashes at every command never completes one)")
 	}
+	if opts.IOQueues < 0 || opts.IOQueues > streamer.MaxIOQueues {
+		return nil, fmt.Errorf("snacc: IOQueues must be between 0 and %d, got %d", streamer.MaxIOQueues, opts.IOQueues)
+	}
+	if opts.DoorbellBatch < 0 {
+		return nil, fmt.Errorf("snacc: DoorbellBatch must be non-negative, got %d", opts.DoorbellBatch)
+	}
 	k := sim.NewKernel()
 	pl := tapasco.NewPlatform(k, tapasco.DefaultU280())
 	devCfg := nvme.DefaultConfig("ssd0", 0) // BAR assigned by enumeration
@@ -202,6 +218,8 @@ func NewSystem(opts Options) (*System, error) {
 	if opts.QueueDepth > 0 {
 		stCfg.QueueDepth = opts.QueueDepth
 	}
+	stCfg.IOQueues = opts.IOQueues
+	stCfg.DoorbellBatch = opts.DoorbellBatch
 	if opts.Faults != nil {
 		applyFaultRecovery(&stCfg, opts.Faults)
 	}
@@ -217,10 +235,11 @@ func NewSystem(opts Options) (*System, error) {
 		tracer = obs.NewTracer(opts.Trace.SpanLimit)
 		st.SetTracer(tracer)
 		// The device reports fetch/execute events by qid/cid; the Streamer
-		// owns I/O queue 1 (see AttachStreamer below) and maps the CID back
-		// to its reorder-buffer slot.
+		// owns I/O queues 1..IOQueues (see AttachStreamer below) and maps
+		// the CID — unique across its queues, it is the reorder-buffer
+		// slot — back to the command.
 		dev.SetCmdObserver(func(qid, cid uint16, stage obs.Stage, at sim.Time) {
-			if qid == 1 {
+			if qid >= 1 && int(qid) <= st.IOQueues() {
 				st.OnDeviceEvent(cid, stage, at)
 			}
 		})
@@ -479,6 +498,13 @@ type Stats struct {
 	CommandsReplayed int64
 	RecoveryTimeNs   int64
 	ControllerDead   bool
+	// Multi-queue / doorbell-coalescing accounting: total doorbell writes
+	// posted over PCIe (SQ tail + CQ head), coalesced CQ-head batches, and
+	// the per-I/O-queue in-flight high-water marks (one entry per queue
+	// pair; a single-entry slice in the default configuration).
+	DoorbellWrites   int64
+	CQBatches        int64
+	IOQueueDepthPeak []int64
 	// Span accounting (all 0 without Options.Trace): spans opened and
 	// closed (equal once the workload drains — the core tracing
 	// invariant), completed spans dropped past the retention limit, and
@@ -516,6 +542,9 @@ func (s *System) Stats() Stats {
 		CommandsReplayed:  s.st.CommandsReplayed(),
 		RecoveryTimeNs:    int64(s.st.RecoveryTime()),
 		ControllerDead:    s.st.Dead(),
+		DoorbellWrites:    s.st.DoorbellWrites(),
+		CQBatches:         s.st.CQBatches(),
+		IOQueueDepthPeak:  s.st.QueueDepthHighWater(),
 		SpansOpened:       s.tracer.Opened(),
 		SpansClosed:       s.tracer.Closed(),
 		SpansDropped:      s.tracer.Dropped(),

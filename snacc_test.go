@@ -2,6 +2,7 @@ package snacc
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -90,7 +91,7 @@ func TestSystemDeterminism(t *testing.T) {
 	if d1 != d2 {
 		t.Errorf("same seed diverged in time: %d vs %d", d1, d2)
 	}
-	if s1 != s2 {
+	if !reflect.DeepEqual(s1, s2) {
 		t.Errorf("same seed diverged in stats: %+v vs %+v", s1, s2)
 	}
 }
