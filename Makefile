@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench cover latency faults crash queues perfreport
+.PHONY: build test race vet bench bench-smoke cover latency faults crash queues perfreport kernel
 
 build:
 	$(GO) build ./...
@@ -10,14 +10,16 @@ build:
 test: vet
 	$(GO) test ./...
 	$(MAKE) race
+	$(MAKE) bench-smoke
 
 # Race-checks the worker pool, the kernel/buffer-pool hot paths it drives,
 # and the fault-injection/recovery machinery (including the controller
 # crash-recovery ladder and its multi-queue/ring-wrap variants).
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/sim/... ./internal/bufpool/... ./internal/fault/... ./internal/obs/...
+	$(GO) test -race ./internal/parallel/... ./internal/sim/... ./internal/bufpool/... ./internal/fault/... ./internal/obs/... ./internal/ethernet/...
 	$(GO) test -race -run 'Fault|Retry|Timeout|CQE|Crash|Breaker|Death|CFS|Degraded|Span|Wrap|MultiQueue' ./internal/streamer/
-	$(GO) test -race -run TestParallelDeterminism ./internal/bench/
+	$(GO) test -race -run 'KernelWorkers' ./internal/casestudy/ .
+	$(GO) test -race -run 'TestParallelDeterminism|TestKernelSweep' ./internal/bench/
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +33,7 @@ cover:
 	@cat cover.txt
 	@awk '{ pct = $$5; sub(/%/, "", pct) } \
 		$$2 == "snacc/internal/obs"      && pct + 0 < 85 { bad = bad "  " $$2 ": " pct "% < 85%\n" } \
+		$$2 == "snacc/internal/sim"      && pct + 0 < 90 { bad = bad "  " $$2 ": " pct "% < 90%\n" } \
 		$$2 == "snacc/internal/workload" && pct + 0 < 88 { bad = bad "  " $$2 ": " pct "% < 88%\n" } \
 		$$2 == "snacc/internal/bench"    && pct + 0 < 84 { bad = bad "  " $$2 ": " pct "% < 84%\n" } \
 		$$2 == "snacc/internal/streamer" && pct + 0 < 80 { bad = bad "  " $$2 ": " pct "% < 80%\n" } \
@@ -46,6 +49,16 @@ latency:
 bench:
 	$(GO) test -run XXX -bench BenchmarkKernel -benchmem ./internal/sim/
 	$(GO) test -run XXX -bench BenchmarkStreamerRead -benchmem ./internal/bench/
+
+# One-iteration pass over the kernel micro-benchmarks under the race
+# detector: catches data races and bit-rot on the sharded hot paths without
+# the cost of a real measurement run. Wired into `make test`.
+bench-smoke: vet
+	$(GO) test -race -run XXX -bench 'BenchmarkKernel|BenchmarkSharded' -benchtime 1x -benchmem ./internal/sim/
+
+# Sharded-kernel worker sweep (events/s, determinism digests) -> BENCH_kernel.json
+kernel:
+	$(GO) run ./cmd/snaccbench -kernelworkers 1,2,4
 
 # Fault-injection suite: recovery unit tests, accounting invariants, and the
 # goodput-vs-error-rate sweep.

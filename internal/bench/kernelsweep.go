@@ -1,0 +1,260 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"snacc/internal/ethernet"
+	"snacc/internal/nvme"
+	"snacc/internal/sim"
+	"snacc/internal/streamer"
+)
+
+// KernelPoint is one worker count of the sharded-kernel sweep.
+type KernelPoint struct {
+	Workers int `json:"workers"`
+	// EffectiveWorkers caps Workers by GOMAXPROCS and the domain count —
+	// what can actually run concurrently.
+	EffectiveWorkers int     `json:"effective_workers"`
+	Seconds          float64 `json:"seconds"`
+	Events           uint64  `json:"events"`
+	EventsPerSec     float64 `json:"events_per_sec"`
+	// CrossEvents counts inter-domain handoffs; Rounds counts
+	// synchronization windows.
+	CrossEvents uint64 `json:"cross_events"`
+	Rounds      uint64 `json:"rounds"`
+	// Speedup is events/s relative to the workers=1 point.
+	Speedup float64 `json:"speedup"`
+	// Digest is the FNV-1a fold of every executed event's (domain, time,
+	// sequence) — the byte-identity witness across worker counts.
+	Digest string `json:"digest"`
+}
+
+// KernelReport is the -kernelworkers sweep the snaccbench CLI emits as
+// BENCH_kernel.json: event throughput of the sharded conservative-parallel
+// kernel on the ethernet → pcie → nvme-per-controller chain, at several
+// worker counts, with the determinism digests and the machine's concurrency
+// limits alongside — so a flat speedup curve on a core-bound machine reads
+// as the machine's limit, not a scheduler regression.
+type KernelReport struct {
+	CPUs       int `json:"cpus"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// CoreBound flags that some requested worker count exceeds GOMAXPROCS:
+	// wall-clock scaling beyond that is impossible on this machine and the
+	// speedup column must not be read as a regression.
+	CoreBound bool     `json:"core_bound"`
+	Domains   []string `json:"domains"`
+	// MinLookaheadNs is the smallest edge lookahead — the conservative
+	// window increment the topology sustains per round.
+	MinLookaheadNs int64 `json:"min_lookahead_ns"`
+	// Deterministic is true when every point produced the same digest and
+	// event count (the tentpole guarantee, checked on every sweep).
+	Deterministic bool          `json:"deterministic"`
+	Points        []KernelPoint `json:"points"`
+	Note          string        `json:"note,omitempty"`
+}
+
+// JSON renders the report.
+func (r KernelReport) JSON() string {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return string(out)
+}
+
+// chainState is one domain's workload state; everything here is owned by
+// exactly one domain and touched only by its events.
+type chainState struct {
+	h   uint64 // FNV-1a digest
+	n   uint64 // events folded
+	now func() sim.Time
+}
+
+func (c *chainState) fold(v uint64) {
+	c.n++
+	h := c.h
+	h ^= v
+	h *= 1099511628211
+	h ^= uint64(c.now())
+	h *= 1099511628211
+	c.h = h
+}
+
+// kernelChainRun drives `frames` Ethernet arrivals through the full
+// streamer.DomainPlan chain: each frame fans out local protocol events in
+// the ethernet domain, crosses to the pcie domain after the wire latency,
+// triggers DMA-shaped local work there, crosses to one of two NVMe
+// controller domains after the link latency, pays command processing, and
+// completes back through the pcie domain. Lookaheads are the real model
+// latencies (wire 500 ns, NVMe link 150 ns with stock configs).
+func kernelChainRun(workers, frames int) (digest uint64, p KernelPoint) {
+	plan := streamer.DomainPlan(ethernet.DefaultConfig(),
+		nvme.DefaultConfig("nvme0", 0), nvme.DefaultConfig("nvme1", 0))
+	s := sim.NewShard(workers)
+	domains, edges, err := plan.Build(s)
+	if err != nil {
+		panic(err)
+	}
+	eth := domains["ethernet"]
+	pci := domains["pcie"]
+	nvm := []*sim.Domain{domains["nvme0"], domains["nvme1"]}
+	toPCI := edges["ethernet->pcie"]
+	toNVMe := []*sim.Edge{edges["pcie->nvme0"], edges["pcie->nvme1"]}
+	toHost := []*sim.Edge{edges["nvme0->pcie"], edges["nvme1->pcie"]}
+
+	state := make([]*chainState, len(plan.Domains))
+	for i, name := range plan.Domains {
+		d := domains[name]
+		state[i] = &chainState{h: 14695981039346656037, now: d.Kernel().Now}
+	}
+	ethSt, pciSt := state[0], state[1]
+
+	// NVMe domains: command processing — a few spaced firmware events,
+	// then the completion crosses back.
+	complete := func(idx int, id uint64) {
+		st := state[2+idx]
+		k := nvm[idx].Kernel()
+		for j := sim.Time(1); j <= 4; j++ {
+			k.At(k.Now()+80*j, func() { st.fold(id) })
+		}
+		k.At(k.Now()+400, func() {
+			st.fold(id)
+			toHost[idx].After(150*sim.Nanosecond, func() { pciSt.fold(id) })
+		})
+	}
+	// PCIe domain: DMA-shaped local work, then forward to a controller.
+	ingest := func(id uint64) {
+		pciSt.fold(id)
+		k := pci.Kernel()
+		k.At(k.Now()+100, func() { pciSt.fold(id) })
+		k.At(k.Now()+200, func() {
+			pciSt.fold(id)
+			idx := int(id % 2)
+			toNVMe[idx].After(150*sim.Nanosecond, func() { complete(idx, id) })
+		})
+	}
+	// Ethernet domain: frame arrivals every 720 ns (9000 B at 12.5 GB/s),
+	// each with MAC/FIFO-shaped local events and a cross into the fabric.
+	ek := eth.Kernel()
+	var arrival func()
+	var frame uint64
+	arrival = func() {
+		id := frame
+		frame++
+		ethSt.fold(id)
+		ek.At(ek.Now()+120, func() { ethSt.fold(id) })
+		ek.At(ek.Now()+240, func() { ethSt.fold(id) })
+		toPCI.After(500*sim.Nanosecond, func() { ingest(id) })
+		if int(frame) < frames {
+			ek.At(ek.Now()+720, arrival)
+		}
+	}
+	ek.At(0, arrival)
+
+	start := time.Now()
+	s.Run(0)
+	elapsed := time.Since(start)
+
+	digest = 14695981039346656037
+	for _, st := range state {
+		digest ^= st.h
+		digest *= 1099511628211
+		digest ^= st.n
+		digest *= 1099511628211
+	}
+	eff := workers
+	if g := runtime.GOMAXPROCS(0); eff > g {
+		eff = g
+	}
+	if eff > len(plan.Domains) {
+		eff = len(plan.Domains)
+	}
+	return digest, KernelPoint{
+		Workers:          workers,
+		EffectiveWorkers: eff,
+		Seconds:          elapsed.Seconds(),
+		Events:           s.EventsExecuted(),
+		EventsPerSec:     float64(s.EventsExecuted()) / elapsed.Seconds(),
+		CrossEvents:      s.CrossEvents(),
+		Rounds:           s.Rounds(),
+		Digest:           fmt.Sprintf("%016x", digest),
+	}
+}
+
+// KernelSweep measures the sharded kernel at each worker count (default
+// 1, 2, 4) over the DomainPlan chain rig, checking digest identity across
+// counts. frames <= 0 selects 20000 arrivals (~360k events).
+func KernelSweep(workerCounts []int, frames int) KernelReport {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4}
+	}
+	if frames <= 0 {
+		frames = 20000
+	}
+	plan := streamer.DomainPlan(ethernet.DefaultConfig(),
+		nvme.DefaultConfig("nvme0", 0), nvme.DefaultConfig("nvme1", 0))
+	r := KernelReport{
+		CPUs:           runtime.NumCPU(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Domains:        plan.Domains,
+		MinLookaheadNs: int64(plan.MinLookahead()),
+		Deterministic:  true,
+	}
+	kernelChainRun(1, frames/10+1) // warm-up: page in code, prime pools
+
+	var baseDigest uint64
+	var baseEvents uint64
+	var baseRate float64
+	for i, w := range workerCounts {
+		digest, p := kernelChainRun(w, frames)
+		if i == 0 {
+			baseDigest, baseEvents, baseRate = digest, p.Events, p.EventsPerSec
+		} else if digest != baseDigest || p.Events != baseEvents {
+			r.Deterministic = false
+		}
+		if baseRate > 0 {
+			p.Speedup = p.EventsPerSec / baseRate
+		}
+		if w > r.GOMAXPROCS {
+			r.CoreBound = true
+		}
+		r.Points = append(r.Points, p)
+	}
+	if r.CoreBound {
+		r.Note = fmt.Sprintf("core-bound: GOMAXPROCS=%d limits concurrency below the requested worker counts; flat speedup here reflects the machine, not the scheduler",
+			r.GOMAXPROCS)
+	}
+	return r
+}
+
+// RenderKernelSweep formats the report as a table for the CLI.
+func RenderKernelSweep(r KernelReport) Table {
+	t := Table{
+		Title:   "Sharded kernel sweep (conservative-parallel DES)",
+		Columns: []string{"effective", "events", "cross", "rounds", "Mev/s", "speedup", "digest"},
+	}
+	for _, p := range r.Points {
+		t.Rows = append(t.Rows, TableRow{
+			Label: fmt.Sprintf("workers=%d", p.Workers),
+			Cells: []string{
+				fmt.Sprintf("%d", p.EffectiveWorkers),
+				fmt.Sprintf("%d", p.Events),
+				fmt.Sprintf("%d", p.CrossEvents),
+				fmt.Sprintf("%d", p.Rounds),
+				fmt.Sprintf("%.2f", p.EventsPerSec/1e6),
+				fmt.Sprintf("%.2fx", p.Speedup),
+				p.Digest,
+			},
+		})
+	}
+	if !r.Deterministic {
+		t.Notes = append(t.Notes, "DIGEST MISMATCH: worker counts diverged — determinism violation")
+	}
+	if r.Note != "" {
+		t.Notes = append(t.Notes, r.Note)
+	}
+	return t
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"encoding/json"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestKernelSweepDeterministic pins the tentpole guarantee at the bench
+// layer: the DomainPlan chain rig produces the same digest and event count
+// at every worker count.
+func TestKernelSweepDeterministic(t *testing.T) {
+	r := KernelSweep([]int{1, 2, 4}, 2000)
+	if !r.Deterministic {
+		t.Fatalf("worker counts diverged: %+v", r.Points)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(r.Points))
+	}
+	base := r.Points[0]
+	if base.Events == 0 || base.CrossEvents == 0 {
+		t.Fatalf("chain rig executed no (cross) events: %+v", base)
+	}
+	for _, p := range r.Points[1:] {
+		if p.Digest != base.Digest {
+			t.Errorf("workers=%d digest %s != serial %s", p.Workers, p.Digest, base.Digest)
+		}
+		if p.Events != base.Events {
+			t.Errorf("workers=%d events %d != serial %d", p.Workers, p.Events, base.Events)
+		}
+	}
+	if got := []string{"ethernet", "pcie", "nvme0", "nvme1"}; len(r.Domains) != len(got) {
+		t.Errorf("domains = %v", r.Domains)
+	}
+	if r.MinLookaheadNs != 150 {
+		t.Errorf("min lookahead = %dns, want 150 (NVMe link propagation)", r.MinLookaheadNs)
+	}
+}
+
+// TestKernelSweepCoreBound checks the machine-limit flag: requesting more
+// workers than GOMAXPROCS must set CoreBound and say so in the note, so a
+// flat speedup on constrained CI reads as the machine, not a regression.
+func TestKernelSweepCoreBound(t *testing.T) {
+	over := runtime.GOMAXPROCS(0) + 1
+	r := KernelSweep([]int{1, over}, 500)
+	if !r.CoreBound {
+		t.Fatalf("CoreBound not set with %d workers on GOMAXPROCS=%d", over, runtime.GOMAXPROCS(0))
+	}
+	if !strings.Contains(r.Note, "core-bound") {
+		t.Errorf("note does not flag the core limit: %q", r.Note)
+	}
+	last := r.Points[len(r.Points)-1]
+	if last.EffectiveWorkers > runtime.GOMAXPROCS(0) {
+		t.Errorf("effective workers %d exceeds GOMAXPROCS", last.EffectiveWorkers)
+	}
+}
+
+// TestKernelSweepJSON round-trips the report and checks the rendered table.
+func TestKernelSweepJSON(t *testing.T) {
+	r := KernelSweep([]int{1, 2}, 500)
+	var back KernelReport
+	if err := json.Unmarshal([]byte(r.JSON()), &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.MinLookaheadNs != r.MinLookaheadNs || len(back.Points) != len(r.Points) {
+		t.Fatalf("round-trip mismatch: %+v vs %+v", back, r)
+	}
+	tbl := RenderKernelSweep(r)
+	s := tbl.String()
+	if !strings.Contains(s, "workers=1") || !strings.Contains(s, r.Points[0].Digest) {
+		t.Errorf("rendered table missing rows:\n%s", s)
+	}
+	bad := r
+	bad.Deterministic = false
+	if !strings.Contains(RenderKernelSweep(bad).String(), "DIGEST MISMATCH") {
+		t.Error("non-deterministic report not flagged in table notes")
+	}
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"runtime"
 	"time"
 
@@ -13,9 +14,21 @@ import (
 // The snaccbench CLI emits it as BENCH_parallel.json.
 type PerfReport struct {
 	// CPUs is runtime.NumCPU() on the measuring machine — the hard ceiling
-	// on any parallel speedup.
-	CPUs    int `json:"cpus"`
-	Workers int `json:"workers"`
+	// on any parallel speedup. GOMAXPROCS is the Go scheduler's limit at
+	// measurement time, which can be lower (CI containers routinely pin it
+	// to 1); that is the number that actually bounds wall-clock speedup.
+	CPUs       int `json:"cpus"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Workers is the requested worker count; EffectiveWorkers is how many
+	// can truly run at once, min(Workers, GOMAXPROCS).
+	Workers          int `json:"workers"`
+	EffectiveWorkers int `json:"effective_workers"`
+	// CoreBound flags a measurement whose wall-clock speedup is limited by
+	// the machine rather than the scheduler: fewer schedulable cores than
+	// requested workers. A speedup near 1x with CoreBound set is the
+	// machine's fault, NOT a parallelism regression — single-CPU CI must
+	// check this flag before judging the Speedup number.
+	CoreBound bool `json:"core_bound"`
 	// SerialSeconds and ParallelSeconds are wall times for the same sample
 	// suite at -j 1 and -j Workers.
 	SerialSeconds   float64 `json:"serial_seconds"`
@@ -74,6 +87,7 @@ func MeasurePerf(workers int) PerfReport {
 	eps, allocs := kernelRate()
 	r := PerfReport{
 		CPUs:                 runtime.NumCPU(),
+		GOMAXPROCS:           runtime.GOMAXPROCS(0),
 		Workers:              workers,
 		SerialSeconds:        serial.Seconds(),
 		ParallelSeconds:      par.Seconds(),
@@ -81,8 +95,14 @@ func MeasurePerf(workers int) PerfReport {
 		KernelEventsPerSec:   eps,
 		KernelAllocsPerEvent: allocs,
 	}
-	if r.CPUs == 1 {
-		r.Note = "single-CPU machine: workers share one core, so wall-time speedup is bounded at 1x"
+	r.EffectiveWorkers = r.Workers
+	if r.GOMAXPROCS < r.EffectiveWorkers {
+		r.EffectiveWorkers = r.GOMAXPROCS
+	}
+	r.CoreBound = r.EffectiveWorkers < r.Workers
+	if r.CoreBound {
+		r.Note = fmt.Sprintf("core-bound: only %d of %d workers can run concurrently; the speedup figure reflects the machine, not the scheduler",
+			r.EffectiveWorkers, r.Workers)
 	}
 	return r
 }

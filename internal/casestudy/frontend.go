@@ -14,6 +14,11 @@ type dbItem struct {
 	img    imagestream.Image
 	data   []byte // original pixels (functional runs)
 	record []byte
+	// sentAt is when the image's last frame entered the transmit queue,
+	// carried through the pipeline for end-to-end latency accounting. It
+	// rides the frame metadata rather than a shared slice so the
+	// transmitter can live in a different shard domain than the consumer.
+	sentAt sim.Time
 }
 
 // frontEnd is the FPGA-side receive pipeline shared by the SNAcc variants
@@ -28,17 +33,18 @@ type frontEnd struct {
 
 	tx, rx *ethernet.MAC
 	out    *sim.Chan[dbItem]
-	// sentAt[i] records when image i's last frame entered the transmit
-	// queue, for end-to-end pipeline latency accounting.
-	sentAt []sim.Time
 
 	scaler     *sim.Server
 	classifier *sim.Server
 	viaSwitch  bool
 }
 
-// imageEnd marks the final frame of an image on the wire.
-type imageEnd struct{ img imagestream.Image }
+// imageEnd marks the final frame of an image on the wire, timestamped at
+// transmit-queue entry.
+type imageEnd struct {
+	img    imagestream.Image
+	sentAt sim.Time
+}
 
 // ethernetConfig applies the case-study overrides to the 100 G defaults.
 func ethernetConfig(cfg Config) ethernet.Config {
@@ -101,8 +107,7 @@ func (fe *frontEnd) senderLoop(p *sim.Proc) {
 			}
 			off += n
 			if off == total {
-				f.Meta = imageEnd{img: img}
-				fe.sentAt = append(fe.sentAt, p.Now())
+				f.Meta = imageEnd{img: img, sentAt: p.Now()}
 			}
 			fe.tx.Send(p, f)
 		}
@@ -127,7 +132,7 @@ func (fe *frontEnd) rxLoop(p *sim.Proc, out *sim.Chan[dbItem]) {
 		if got != end.img.Bytes() {
 			panic(fmt.Sprintf("casestudy: image %d reassembled %d of %d bytes", end.img.ID, got, end.img.Bytes()))
 		}
-		out.Put(p, dbItem{img: end.img, data: buf})
+		out.Put(p, dbItem{img: end.img, data: buf, sentAt: end.sentAt})
 		buf = nil
 		got = 0
 	}
@@ -209,12 +214,49 @@ func newFrontEndNICOnly(k *sim.Kernel, cfg Config) *frontEnd {
 				if got != end.img.Bytes() {
 					panic("casestudy: NIC reassembly mismatch")
 				}
-				fe.out.Put(p, dbItem{img: end.img, data: buf})
+				fe.out.Put(p, dbItem{img: end.img, data: buf, sentAt: end.sentAt})
 				buf = nil
 				got = 0
 			}
 		}
 	})
+	return fe
+}
+
+// newFrontEndCross is newFrontEnd with the transmitter FPGA in its own
+// shard domain: the tx MAC (and the intermediary switch, when configured)
+// lives on txk, the receive pipeline on k, and all wire traffic — frames
+// one way, 802.3x pause/resume the other — rides the toRx/toTx edges. The
+// Ethernet wire is the one boundary in this rig's topology with a declared
+// minimum latency (ethernet.Config.EdgeLookahead), which is exactly why the
+// cut goes here and not through the synchronously-coupled PCIe complex.
+func newFrontEndCross(txk, k *sim.Kernel, toRx, toTx *sim.Edge, cfg Config) *frontEnd {
+	ecfg := ethernetConfig(cfg)
+	fe := &frontEnd{
+		k:          k,
+		cfg:        cfg,
+		tx:         ethernet.NewMAC(txk, "txfpga", ecfg),
+		rx:         ethernet.NewMAC(k, "rxfpga", ecfg),
+		out:        sim.NewChan[dbItem](k, 4),
+		scaler:     sim.NewServer(k),
+		classifier: sim.NewServer(k),
+	}
+	if cfg.UseSwitch {
+		sw := ethernet.NewSwitch(txk, "torswitch", ecfg, 2, sim.MiB)
+		sw.Attach(0, fe.tx)
+		if err := sw.AttachCross(1, fe.rx, toRx, toTx); err != nil {
+			panic(err)
+		}
+		fe.viaSwitch = true
+	} else if err := ethernet.ConnectCross(fe.tx, fe.rx, toRx, toTx); err != nil {
+		panic(err)
+	}
+	txk.Spawn("sender", fe.senderLoop)
+	toScaler := sim.NewChan[dbItem](k, 2)
+	toClassifier := sim.NewChan[dbItem](k, 2)
+	k.Spawn("rxpe", func(p *sim.Proc) { fe.rxLoop(p, toScaler) })
+	k.Spawn("scaler", func(p *sim.Proc) { fe.scalerLoop(p, toScaler, toClassifier) })
+	k.Spawn("classifier", func(p *sim.Proc) { fe.classifierLoop(p, toClassifier) })
 	return fe
 }
 

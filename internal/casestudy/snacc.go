@@ -25,7 +25,21 @@ func runSNAcc(v streamer.Variant, cfg Config) (Result, *nvme.Device) {
 }
 
 func runSNAccInner(v streamer.Variant, cfg Config, devHook func(*nvme.Device)) (Result, *nvme.Device) {
+	// With KernelWorkers > 1 the rig splits at the Ethernet wire: the
+	// transmitter FPGA gets its own shard domain, everything PCIe-coupled
+	// (platform, streamer, SSD, receive PEs) stays together, and the two
+	// advance concurrently under conservative sync with the wire latency as
+	// lookahead. With 0 or 1 everything runs on one serial kernel.
+	var (
+		shard *sim.Shard
+		txd   *sim.Domain
+	)
 	k := sim.NewKernel()
+	if cfg.KernelWorkers > 1 {
+		shard = sim.NewShard(cfg.KernelWorkers)
+		txd = shard.AddDomain("txfpga")
+		k = shard.AddDomain("fpga").Kernel()
+	}
 	pl := tapasco.NewPlatform(k, tapasco.DefaultU280())
 	devCfg := nvme.DefaultConfig("ssd0", caseSSDBAR)
 	devCfg.Functional = cfg.Functional
@@ -38,10 +52,21 @@ func runSNAccInner(v streamer.Variant, cfg Config, devHook func(*nvme.Device)) (
 	st := pl.AddStreamer(stCfg)
 	drv := tapasco.NewDriver(pl, "ssd0", caseSSDBAR)
 
-	fe := newFrontEnd(k, cfg)
+	var fe *frontEnd
+	if shard != nil {
+		ecfg := ethernetConfig(cfg)
+		look := ecfg.EdgeLookahead()
+		fpga := shard.Domains()[1]
+		toRx := shard.MustConnect(txd, fpga, look)
+		toTx := shard.MustConnect(fpga, txd, look)
+		fe = newFrontEndCross(txd.Kernel(), k, toRx, toTx, cfg)
+	} else {
+		fe = newFrontEnd(k, cfg)
+	}
 	perImage := cfg.imageWriteBytes()
 	var start, end sim.Time
 	lat := &sim.Histogram{}
+	sentAt := make([]sim.Time, 0, cfg.Images)
 
 	k.Spawn("main", func(p *sim.Proc) {
 		if err := drv.InitController(p); err != nil {
@@ -55,13 +80,17 @@ func runSNAccInner(v streamer.Variant, cfg Config, devHook func(*nvme.Device)) (
 
 		// Response-token consumer so writes pipeline. Tokens arrive in
 		// image order (in-order retirement), so the i-th token pairs with
-		// the i-th transmit timestamp for end-to-end latency.
+		// the i-th transmit timestamp for end-to-end latency. The
+		// timestamps ride each dbItem (recorded below as the writes are
+		// issued), never a transmitter-owned slice: the i-th write is
+		// issued before the i-th token can arrive, so the read is safe, and
+		// the transmitter may live in another shard domain.
 		doneC := sim.NewChan[struct{}](k, 1)
 		k.Spawn("dbtokens", func(tp *sim.Proc) {
 			for i := 0; i < cfg.Images; i++ {
 				c.WaitWrite(tp)
-				if i < len(fe.sentAt) {
-					lat.Add(tp.Now() - fe.sentAt[i])
+				if i < len(sentAt) {
+					lat.Add(tp.Now() - sentAt[i])
 				}
 			}
 			end = tp.Now()
@@ -73,6 +102,7 @@ func runSNAccInner(v streamer.Variant, cfg Config, devHook func(*nvme.Device)) (
 		var cursor uint64
 		for i := 0; i < cfg.Images; i++ {
 			it := fe.out.Get(p)
+			sentAt = append(sentAt, it.sentAt)
 			var payload []byte
 			if cfg.Functional {
 				payload = make([]byte, perImage)
@@ -84,7 +114,11 @@ func runSNAccInner(v streamer.Variant, cfg Config, devHook func(*nvme.Device)) (
 		}
 		doneC.Get(p)
 	})
-	k.Run(0)
+	if shard != nil {
+		shard.Run(0)
+	} else {
+		k.Run(0)
+	}
 
 	res := Result{
 		Variant:        variantName(v),

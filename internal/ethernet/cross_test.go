@@ -1,0 +1,205 @@
+package ethernet
+
+import (
+	"strings"
+	"testing"
+
+	"snacc/internal/sim"
+)
+
+// linkResult captures everything observable about a flow-controlled
+// transfer; two runs are byte-identical iff these match.
+type linkResult struct {
+	done                      sim.Time
+	framesSent, framesDropped int64
+	bytesReceived             int64
+	pausesSent, pausesHonored int64
+}
+
+// runCrossLink drives the TestFlowControlPreventsDrops traffic pattern
+// (slow consumer, pause/resume in flight) over a MAC pair. workers == 0
+// runs both MACs on one kernel (the plain serial model); workers >= 1
+// splits them into two shard domains linked by ConnectCross.
+func runCrossLink(t *testing.T, workers int) linkResult {
+	t.Helper()
+	cfg := DefaultConfig()
+	const frames = 500
+	var a, b *MAC
+	var ka, kb *sim.Kernel
+	var run func()
+	if workers == 0 {
+		k := sim.NewKernel()
+		a, b = NewMAC(k, "a", cfg), NewMAC(k, "b", cfg)
+		Connect(a, b)
+		ka, kb = k, k
+		run = func() { k.Run(0) }
+	} else {
+		s := sim.NewShard(workers)
+		left, right := s.AddDomain("left"), s.AddDomain("right")
+		look := cfg.EdgeLookahead()
+		ab := s.MustConnect(left, right, look)
+		ba := s.MustConnect(right, left, look)
+		a, b = NewMAC(left.Kernel(), "a", cfg), NewMAC(right.Kernel(), "b", cfg)
+		if err := ConnectCross(a, b, ab, ba); err != nil {
+			t.Fatalf("ConnectCross: %v", err)
+		}
+		ka, kb = left.Kernel(), right.Kernel()
+		run = func() { s.Run(0) }
+	}
+	ka.Spawn("tx", func(p *sim.Proc) {
+		for i := 0; i < frames; i++ {
+			a.Send(p, Frame{Bytes: 8192})
+		}
+	})
+	var res linkResult
+	kb.Spawn("rx", func(p *sim.Proc) {
+		for got := 0; got < frames; got++ {
+			b.Recv(p)
+			p.Sleep(2 * sim.Microsecond) // slower than line rate
+		}
+		res.done = p.Now()
+	})
+	run()
+	res.framesSent = a.FramesSent()
+	res.framesDropped = b.FramesDropped()
+	res.bytesReceived = b.BytesReceived()
+	res.pausesSent = b.PausesSent()
+	res.pausesHonored = a.PausesHonored()
+	return res
+}
+
+func TestCrossDomainLinkMatchesSerial(t *testing.T) {
+	serial := runCrossLink(t, 0)
+	if serial.pausesSent == 0 || serial.pausesHonored == 0 {
+		t.Fatal("traffic pattern did not exercise flow control")
+	}
+	for _, w := range []int{1, 2, 4} {
+		if got := runCrossLink(t, w); got != serial {
+			t.Errorf("workers=%d result %+v differs from serial %+v", w, got, serial)
+		}
+	}
+}
+
+func TestCrossDomainSwitchMatchesSerial(t *testing.T) {
+	// Slow consumer behind a switch, with the destination MAC in its own
+	// domain: propagated pause must throttle the source identically to the
+	// single-kernel run.
+	type result struct {
+		done                sim.Time
+		honored, dropped    int64
+		received, swDropped int64
+	}
+	run := func(workers int) result {
+		cfg := DefaultConfig()
+		const frames = 300
+		var src, dst *MAC
+		var sw *Switch
+		var kSrc, kDst *sim.Kernel
+		var drive func()
+		if workers == 0 {
+			k := sim.NewKernel()
+			sw = NewSwitch(k, "sw", cfg, 2, 512*sim.KiB)
+			src, dst = NewMAC(k, "src", cfg), NewMAC(k, "dst", cfg)
+			sw.Attach(0, src)
+			sw.Attach(1, dst)
+			kSrc, kDst = k, k
+			drive = func() { k.Run(0) }
+		} else {
+			s := sim.NewShard(workers)
+			fabric, sink := s.AddDomain("fabric"), s.AddDomain("sink")
+			look := cfg.EdgeLookahead()
+			toMAC := s.MustConnect(fabric, sink, look)
+			fromMAC := s.MustConnect(sink, fabric, look)
+			sw = NewSwitch(fabric.Kernel(), "sw", cfg, 2, 512*sim.KiB)
+			src = NewMAC(fabric.Kernel(), "src", cfg)
+			dst = NewMAC(sink.Kernel(), "dst", cfg)
+			sw.Attach(0, src)
+			if err := sw.AttachCross(1, dst, toMAC, fromMAC); err != nil {
+				t.Fatalf("AttachCross: %v", err)
+			}
+			kSrc, kDst = fabric.Kernel(), sink.Kernel()
+			drive = func() { s.Run(0) }
+		}
+		kSrc.Spawn("tx", func(p *sim.Proc) {
+			for i := 0; i < frames; i++ {
+				src.Send(p, Frame{Bytes: 8192, DstPort: 1})
+			}
+		})
+		var res result
+		kDst.Spawn("rx", func(p *sim.Proc) {
+			for got := int64(0); got < frames; got++ {
+				dst.Recv(p)
+				res.received++
+			}
+			res.done = p.Now()
+		})
+		drive()
+		res.honored = src.PausesHonored()
+		res.dropped = dst.FramesDropped()
+		res.swDropped = sw.FramesDropped()
+		return res
+	}
+	serial := run(0)
+	if serial.dropped != 0 || serial.swDropped != 0 {
+		t.Fatalf("serial switch run dropped frames: %+v", serial)
+	}
+	for _, w := range []int{1, 2} {
+		if got := run(w); got != serial {
+			t.Errorf("workers=%d result %+v differs from serial %+v", w, got, serial)
+		}
+	}
+}
+
+func TestConnectCrossValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	s := sim.NewShard(1)
+	left, right, other := s.AddDomain("left"), s.AddDomain("right"), s.AddDomain("other")
+	a := NewMAC(left.Kernel(), "a", cfg)
+	b := NewMAC(right.Kernel(), "b", cfg)
+	ab := s.MustConnect(left, right, cfg.EdgeLookahead())
+	ba := s.MustConnect(right, left, cfg.EdgeLookahead())
+
+	if err := ConnectCross(a, b, nil, ba); err == nil {
+		t.Error("nil edge accepted")
+	}
+	// Edge endpoints must match the MACs' kernels.
+	wrong := s.MustConnect(left, other, cfg.EdgeLookahead())
+	if err := ConnectCross(a, b, wrong, ba); err == nil {
+		t.Error("edge into the wrong domain accepted")
+	}
+	if err := ConnectCross(a, b, ab, wrong); err == nil {
+		t.Error("reverse edge from the wrong domain accepted")
+	}
+	// Lookahead beyond the wire latency would let the shard window overrun
+	// deliveries the MAC schedules exactly WireLatency out.
+	tooFar := s.MustConnect(left, right, cfg.EdgeLookahead()+1)
+	if err := ConnectCross(a, b, tooFar, ba); err == nil ||
+		!strings.Contains(err.Error(), "lookahead") {
+		t.Errorf("oversized lookahead: err = %v, want lookahead error", err)
+	}
+	if err := ConnectCross(a, b, ab, ba); err != nil {
+		t.Errorf("valid ConnectCross failed: %v", err)
+	}
+
+	sw := NewSwitch(left.Kernel(), "sw", cfg, 2, sim.MiB)
+	if err := sw.AttachCross(5, b, ab, ba); err == nil {
+		t.Error("out-of-range port accepted")
+	}
+	if err := sw.AttachCross(0, b, nil, ba); err == nil {
+		t.Error("nil edge accepted by AttachCross")
+	}
+	if err := sw.AttachCross(0, b, wrong, ba); err == nil {
+		t.Error("edge into the wrong domain accepted by AttachCross")
+	}
+	if err := sw.AttachCross(0, b, tooFar, ba); err == nil ||
+		!strings.Contains(err.Error(), "lookahead") {
+		t.Errorf("oversized lookahead via AttachCross: err = %v", err)
+	}
+	if err := sw.AttachCross(0, b, ab, ba); err != nil {
+		t.Errorf("valid AttachCross failed: %v", err)
+	}
+	// The reverse-direction edge must also be validated.
+	if err := sw.AttachCross(0, b, ab, wrong); err == nil {
+		t.Error("reverse edge from the wrong domain accepted by AttachCross")
+	}
+}

@@ -1,0 +1,475 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// maxTime is the +infinity sentinel for horizon arithmetic.
+const maxTime = Time(1<<63 - 1)
+
+// This file implements conservative-parallel discrete-event simulation over
+// multiple Kernels ("domains"). The partition follows the modeled hardware:
+// components that exchange events only across links with a known minimum
+// latency (an Ethernet wire, a PCIe hop) can live in separate domains, and
+// that latency becomes the edge's *lookahead* — the guarantee that a domain
+// executing at time t cannot receive a new event before t+lookahead.
+//
+// Synchronization is barrier-based: every round the shard computes the
+// global lower bound on timestamp (LBTS, the earliest pending event in any
+// domain), then lets every domain execute events strictly below
+// LBTS+minLookahead in parallel. Cross-domain events produced during the
+// round are buffered per source domain and merged at the barrier in
+// (timestamp, source-domain id, source sequence) order, so the destination
+// kernel assigns its tie-breaking sequence numbers identically at any
+// worker count — results are byte-identical whether the round ran on one
+// worker or sixteen.
+
+// Domain is one sub-kernel of a Shard: a private Kernel plus the outbox for
+// cross-domain events it produces. All model state built on the domain's
+// Kernel is owned by the domain and must never be touched from another
+// domain except through Edge deliveries.
+type Domain struct {
+	s    *Shard
+	id   int
+	name string
+	k    *Kernel
+
+	// out buffers cross-domain events produced during the current round;
+	// only this domain's worker appends, so no locking. The backing array
+	// is recycled across rounds.
+	out []xevent
+	// xseq orders this domain's cross-domain sends for deterministic
+	// barrier merging.
+	xseq uint64
+}
+
+// Kernel returns the domain's private simulation kernel.
+func (d *Domain) Kernel() *Kernel { return d.k }
+
+// Name returns the name given at AddDomain.
+func (d *Domain) Name() string { return d.name }
+
+// ID returns the domain's index in its shard, the tie-breaking key for
+// same-timestamp cross-domain deliveries.
+func (d *Domain) ID() int { return d.id }
+
+// xevent is one cross-domain event in flight: scheduled by a source domain,
+// delivered into the destination kernel at the next barrier.
+type xevent struct {
+	at  Time
+	src int
+	seq uint64
+	dst int
+	fn  func()
+}
+
+// Edge is a declared communication channel from one domain to another with
+// a positive lookahead: every event sent over the edge must be scheduled at
+// least lookahead after the sender's current time. The lookahead is the
+// modeled link latency (Ethernet wire delay, PCIe hop latency), so model
+// code that already defers remote effects by the link latency satisfies the
+// constraint naturally.
+type Edge struct {
+	src, dst  *Domain
+	lookahead Time
+}
+
+// Lookahead returns the edge's declared minimum latency.
+func (e *Edge) Lookahead() Time { return e.lookahead }
+
+// From returns the source domain.
+func (e *Edge) From() *Domain { return e.src }
+
+// To returns the destination domain.
+func (e *Edge) To() *Domain { return e.dst }
+
+// At schedules fn to run in the destination domain at absolute time t,
+// which must honor the edge's lookahead relative to the source domain's
+// current time. Must be called from the source domain (during one of its
+// events or processes, or before the shard runs).
+func (e *Edge) At(t Time, fn func()) {
+	src := e.src
+	if t < src.k.now+e.lookahead {
+		panic(fmt.Sprintf("sim: cross-domain event %s->%s at %v violates lookahead %v (source now %v)",
+			src.name, e.dst.name, t, e.lookahead, src.k.now))
+	}
+	src.xseq++
+	src.out = append(src.out, xevent{at: t, src: src.id, seq: src.xseq, dst: e.dst.id, fn: fn})
+}
+
+// After schedules fn in the destination domain d after the source domain's
+// current time; d must be at least the edge's lookahead.
+func (e *Edge) After(d Time, fn func()) { e.At(e.src.k.now+d, fn) }
+
+// Shard is a conservative-parallel scheduler over communicating domains.
+// Create one with NewShard, partition the model with AddDomain, declare
+// every cross-domain link with Connect, then Run. With a single domain and
+// no edges, Run degenerates to the domain kernel's ordinary serial drain.
+type Shard struct {
+	workers int
+	domains []*Domain
+	edges   []*Edge
+	// minLook is the minimum lookahead over all edges (maxTime when no
+	// edges exist, making the first window unbounded).
+	minLook Time
+
+	// inbox is the recycled barrier merge buffer; sorter wraps it for a
+	// zero-allocation sort.Sort at the barrier (sort.Slice would allocate
+	// its reflect-based swapper on every round).
+	inbox  []xevent
+	sorter xeventSorter
+
+	// Stats.
+	rounds         uint64
+	crossDelivered uint64
+}
+
+// NewShard returns an empty shard. workers <= 0 selects GOMAXPROCS; the
+// per-round concurrency is additionally capped by the domain count.
+// workers == 1 executes every round inline on the caller's goroutine in
+// domain order — the exact serial code path, with no pool involved.
+func NewShard(workers int) *Shard {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Shard{workers: workers, minLook: maxTime}
+}
+
+// Workers returns the configured worker budget.
+func (s *Shard) Workers() int { return s.workers }
+
+// AddDomain creates a new domain with its own kernel.
+func (s *Shard) AddDomain(name string) *Domain {
+	d := &Domain{s: s, id: len(s.domains), name: name, k: NewKernel()}
+	s.domains = append(s.domains, d)
+	return d
+}
+
+// Domains returns the shard's domains in id order.
+func (s *Shard) Domains() []*Domain { return s.domains }
+
+// Connect declares a directed edge from src to dst with the given
+// lookahead. A non-positive lookahead is rejected: conservative
+// synchronization advances the global window by the minimum lookahead each
+// round, so a zero or negative value could never make progress — the error
+// surfaces at build time instead of as a runtime deadlock.
+func (s *Shard) Connect(src, dst *Domain, lookahead Time) (*Edge, error) {
+	if src == nil || dst == nil {
+		return nil, fmt.Errorf("sim: Connect with nil domain")
+	}
+	if src.s != s || dst.s != s {
+		return nil, fmt.Errorf("sim: Connect %s->%s across different shards", src.name, dst.name)
+	}
+	if src == dst {
+		return nil, fmt.Errorf("sim: Connect %s->%s: a domain cannot have an edge to itself (use Kernel.At)", src.name, dst.name)
+	}
+	if lookahead <= 0 {
+		return nil, fmt.Errorf("sim: Connect %s->%s: lookahead %v must be positive (conservative sync cannot advance past a zero-lookahead edge)",
+			src.name, dst.name, lookahead)
+	}
+	e := &Edge{src: src, dst: dst, lookahead: lookahead}
+	s.edges = append(s.edges, e)
+	if lookahead < s.minLook {
+		s.minLook = lookahead
+	}
+	return e, nil
+}
+
+// MustConnect is Connect, panicking on error (rig builders with static
+// topologies).
+func (s *Shard) MustConnect(src, dst *Domain, lookahead Time) *Edge {
+	e, err := s.Connect(src, dst, lookahead)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// EventsExecuted sums event executions across all domains — the same work
+// metric as Kernel.EventsExecuted.
+func (s *Shard) EventsExecuted() uint64 {
+	var n uint64
+	for _, d := range s.domains {
+		n += d.k.executed
+	}
+	return n
+}
+
+// Rounds returns the number of synchronization windows executed.
+func (s *Shard) Rounds() uint64 { return s.rounds }
+
+// CrossEvents returns the number of cross-domain events delivered.
+func (s *Shard) CrossEvents() uint64 { return s.crossDelivered }
+
+// Now returns the maximum current time across domains — the shard-level
+// analogue of Kernel.Now after a Run.
+func (s *Shard) Now() Time {
+	var t Time
+	for _, d := range s.domains {
+		if d.k.now > t {
+			t = d.k.now
+		}
+	}
+	return t
+}
+
+// Stop makes Run return after the current synchronization round.
+func (s *Shard) Stop() {
+	for _, d := range s.domains {
+		d.k.Stop()
+	}
+}
+
+// deliver drains every domain's outbox into the destination kernels in
+// (timestamp, source domain, source sequence) order. Scheduling order
+// determines the destination kernel's tie-breaking sequence numbers, so the
+// deterministic merge keeps results independent of the worker count.
+func (s *Shard) deliver() {
+	buf := s.inbox[:0]
+	for _, d := range s.domains {
+		buf = append(buf, d.out...)
+		for i := range d.out {
+			d.out[i] = xevent{} // drop fn references for the collector
+		}
+		d.out = d.out[:0]
+	}
+	if len(buf) > 1 {
+		s.sorter.ev = buf
+		sort.Sort(&s.sorter)
+		s.sorter.ev = nil
+	}
+	for i := range buf {
+		e := &buf[i]
+		s.domains[e.dst].k.At(e.at, e.fn)
+		buf[i] = xevent{}
+	}
+	s.crossDelivered += uint64(len(buf))
+	s.inbox = buf[:0]
+}
+
+// xeventSorter orders the barrier merge buffer by (timestamp, source
+// domain id, source sequence) — the deterministic cross-domain delivery
+// order. It exists (instead of sort.Slice) so the barrier stays
+// allocation-free.
+type xeventSorter struct{ ev []xevent }
+
+func (x *xeventSorter) Len() int      { return len(x.ev) }
+func (x *xeventSorter) Swap(i, j int) { x.ev[i], x.ev[j] = x.ev[j], x.ev[i] }
+func (x *xeventSorter) Less(i, j int) bool {
+	a, b := &x.ev[i], &x.ev[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+// lbts returns the earliest pending event timestamp across all domains, or
+// maxTime when every queue is empty. Outboxes must have been delivered.
+func (s *Shard) lbts() Time {
+	t := maxTime
+	for _, d := range s.domains {
+		if q := &d.k.queue; q.len() > 0 && q.ev[0].at < t {
+			t = q.ev[0].at
+		}
+	}
+	return t
+}
+
+// Run executes the conservative synchronization loop until every domain
+// drains, Stop is called, or the optional horizon is reached (horizon <= 0
+// means none). It returns the time of the last executed event (or the
+// horizon when it was hit), mirroring Kernel.Run.
+//
+// Like Kernel.Run, it panics when the simulation deadlocks: every queue
+// empty, nothing in flight, and non-daemon processes still parked.
+func (s *Shard) Run(horizon Time) Time {
+	for _, d := range s.domains {
+		d.k.stopped = false
+	}
+	for {
+		s.deliver()
+		lbts := s.lbts()
+		if lbts == maxTime {
+			s.checkDeadlock()
+			return s.Now()
+		}
+		if horizon > 0 && lbts > horizon {
+			// Mirror the serial kernel: advance to the horizon and leave
+			// over-horizon events pending.
+			for _, d := range s.domains {
+				if d.k.now < horizon {
+					d.k.now = horizon
+				}
+			}
+			return horizon
+		}
+		window := maxTime
+		if s.minLook != maxTime {
+			window = lbts + s.minLook
+			if horizon > 0 && window > horizon+1 {
+				window = horizon + 1
+			}
+		}
+		s.runRound(window)
+		s.rounds++
+		for _, d := range s.domains {
+			if d.k.stopped {
+				return s.Now()
+			}
+		}
+	}
+}
+
+// runRound executes one synchronization window: every domain runs its
+// events strictly below window. Domains share no mutable state (cross
+// effects ride the outboxes), so they execute concurrently; with one worker
+// the loop below is the exact serial path.
+func (s *Shard) runRound(window Time) {
+	w := s.workers
+	if w > len(s.domains) {
+		w = len(s.domains)
+	}
+	if w <= 1 {
+		for _, d := range s.domains {
+			d.k.runWindow(window)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := atomic.AddInt64(&next, 1) - 1
+				if i >= int64(len(s.domains)) {
+					return
+				}
+				s.domains[i].k.runWindow(window)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// checkDeadlock applies the serial kernel's deadlock rule across the whole
+// shard: all queues drained and outboxes empty, yet non-daemon processes
+// remain parked.
+func (s *Shard) checkDeadlock() {
+	stuck := 0
+	detail := ""
+	for _, d := range s.domains {
+		k := d.k
+		if k.stopped || k.parked != k.nprocs {
+			return // a stop or a mid-dispatch state; not a deadlock verdict
+		}
+		if n := k.parked - k.parkedDaemons; n > 0 {
+			stuck += n
+			detail += fmt.Sprintf(" [%s: %d]", d.name, n)
+		}
+	}
+	if stuck > 0 {
+		panic(fmt.Sprintf("sim: shard deadlock at %v: %d non-daemon processes parked with no pending events%s",
+			s.Now(), stuck, detail))
+	}
+}
+
+// runWindow executes this kernel's events strictly before limit, without
+// the serial deadlock check (the shard applies it globally once every
+// domain and outbox is drained). The kernel's clock stays at the last
+// executed event, exactly as in Run, so model-visible time is identical to
+// a serial execution of the same event sequence.
+func (k *Kernel) runWindow(limit Time) {
+	for k.queue.len() > 0 && !k.stopped {
+		if k.queue.ev[0].at >= limit {
+			return
+		}
+		e := k.queue.pop()
+		k.now = e.at
+		k.executed++
+		e.fn()
+	}
+}
+
+// EdgeSpec names one directed cross-domain link of a Plan.
+type EdgeSpec struct {
+	Src, Dst  string
+	Lookahead Time
+}
+
+// Plan is a declarative domain partition: named domains plus the lookahead
+// edges between them. Model packages publish plans (streamer.DomainPlan
+// maps the paper's ethernet -> pcie -> nvme-per-controller chain) and rig
+// builders materialize them onto a Shard.
+type Plan struct {
+	Domains []string
+	Edges   []EdgeSpec
+}
+
+// MinLookahead returns the smallest edge lookahead — the per-round horizon
+// increment the plan sustains — or 0 for a plan with no edges.
+func (p Plan) MinLookahead() Time {
+	min := Time(0)
+	for i, e := range p.Edges {
+		if i == 0 || e.Lookahead < min {
+			min = e.Lookahead
+		}
+	}
+	return min
+}
+
+// Validate checks the plan: non-empty unique domain names, edge endpoints
+// that exist, and positive lookaheads.
+func (p Plan) Validate() error {
+	if len(p.Domains) == 0 {
+		return fmt.Errorf("sim: plan has no domains")
+	}
+	seen := make(map[string]bool, len(p.Domains))
+	for _, name := range p.Domains {
+		if name == "" {
+			return fmt.Errorf("sim: plan has an unnamed domain")
+		}
+		if seen[name] {
+			return fmt.Errorf("sim: plan declares domain %q twice", name)
+		}
+		seen[name] = true
+	}
+	for _, e := range p.Edges {
+		if !seen[e.Src] || !seen[e.Dst] {
+			return fmt.Errorf("sim: plan edge %s->%s references an undeclared domain", e.Src, e.Dst)
+		}
+		if e.Lookahead <= 0 {
+			return fmt.Errorf("sim: plan edge %s->%s has non-positive lookahead %v", e.Src, e.Dst, e.Lookahead)
+		}
+	}
+	return nil
+}
+
+// Build materializes the plan onto s, returning the domains by name and the
+// edges keyed "src->dst".
+func (p Plan) Build(s *Shard) (map[string]*Domain, map[string]*Edge, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	domains := make(map[string]*Domain, len(p.Domains))
+	for _, name := range p.Domains {
+		domains[name] = s.AddDomain(name)
+	}
+	edges := make(map[string]*Edge, len(p.Edges))
+	for _, e := range p.Edges {
+		edge, err := s.Connect(domains[e.Src], domains[e.Dst], e.Lookahead)
+		if err != nil {
+			return nil, nil, err
+		}
+		edges[e.Src+"->"+e.Dst] = edge
+	}
+	return domains, edges, nil
+}

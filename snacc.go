@@ -72,6 +72,18 @@ type Options struct {
 	DoorbellBatch int
 	// OutOfOrder enables the §7 out-of-order retirement extension.
 	OutOfOrder bool
+	// KernelWorkers selects the event-loop scheduler. 0 or 1 runs the plain
+	// serial kernel — the exact paper timeline, byte for byte. Values above
+	// 1 run the system under the sharded conservative-parallel scheduler
+	// (sim.Shard) with that many workers. A single System is one
+	// synchronously-coupled PCIe fabric and therefore one shard domain, so
+	// extra workers cannot speed it up; the knob exists so rig-level
+	// parallelism (bench.SetParallelism, sharding *across* systems) and
+	// domain-level workers (sharding *within* a rig's event loop) compose,
+	// and rigs with genuinely partitionable topology — the casestudy's
+	// network front end, bench.KernelSweep's ethernet→pcie→nvme chain — get
+	// real concurrency. Results are identical at any worker count.
+	KernelWorkers int
 	// Functional moves real payload bytes through the whole stack
 	// (Ethernet frames, PCIe TLPs, PRP lists, NAND media). Default true —
 	// turn it off for large timing-only experiments.
@@ -175,6 +187,7 @@ func (f *FaultOptions) wantsBreaker() bool {
 // programmed).
 type System struct {
 	kernel   *sim.Kernel
+	shard    *sim.Shard // nil when KernelWorkers <= 1 (plain serial kernel)
 	plat     *tapasco.Platform
 	dev      *nvme.Device
 	st       *streamer.Streamer
@@ -204,7 +217,15 @@ func NewSystem(opts Options) (*System, error) {
 	if opts.DoorbellBatch < 0 {
 		return nil, fmt.Errorf("snacc: DoorbellBatch must be non-negative, got %d", opts.DoorbellBatch)
 	}
+	if opts.KernelWorkers < 0 {
+		return nil, fmt.Errorf("snacc: KernelWorkers must be non-negative, got %d", opts.KernelWorkers)
+	}
+	var shard *sim.Shard
 	k := sim.NewKernel()
+	if opts.KernelWorkers > 1 {
+		shard = sim.NewShard(opts.KernelWorkers)
+		k = shard.AddDomain("system").Kernel()
+	}
 	pl := tapasco.NewPlatform(k, tapasco.DefaultU280())
 	devCfg := nvme.DefaultConfig("ssd0", 0) // BAR assigned by enumeration
 	devCfg.Functional = functional
@@ -265,14 +286,18 @@ func NewSystem(opts Options) (*System, error) {
 		}
 		done = true
 	})
-	k.Run(0)
+	if shard != nil {
+		shard.Run(0)
+	} else {
+		k.Run(0)
+	}
 	if initErr != nil {
 		return nil, initErr
 	}
 	if !done {
 		return nil, fmt.Errorf("snacc: initialization stalled")
 	}
-	return &System{kernel: k, plat: pl, dev: dev, st: st,
+	return &System{kernel: k, shard: shard, plat: pl, dev: dev, st: st,
 		client: streamer.NewClient(st), injector: injector,
 		tracer: tracer, boundary: boundary}, nil
 }
@@ -401,12 +426,26 @@ type Handle struct {
 }
 
 // Execute runs fn as a simulation process and advances simulated time
-// until it (and everything it triggered) completes.
+// until it (and everything it triggered) completes, under whichever
+// scheduler Options.KernelWorkers selected.
 func (s *System) Execute(fn func(h *Handle)) {
 	s.kernel.Spawn("app", func(p *sim.Proc) {
 		fn(&Handle{p: p, sys: s})
 	})
-	s.kernel.Run(0)
+	if s.shard != nil {
+		s.shard.Run(0)
+	} else {
+		s.kernel.Run(0)
+	}
+}
+
+// KernelWorkers returns the sharded scheduler's worker budget, or 1 when
+// the system runs on the plain serial kernel.
+func (s *System) KernelWorkers() int {
+	if s.shard == nil {
+		return 1
+	}
+	return s.shard.Workers()
 }
 
 // Now returns the current simulated time in nanoseconds.
