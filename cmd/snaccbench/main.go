@@ -15,6 +15,7 @@
 //	snaccbench -latency           # per-stage latency percentiles from span tracing
 //	snaccbench -queues 1,2,4,8    # multi-queue submission sweep, write BENCH_queues.json
 //	snaccbench -kernelworkers 1,2,4 # sharded-kernel worker sweep, write BENCH_kernel.json
+//	snaccbench -tenants           # multi-tenant QoS sweep, write BENCH_tenants.json
 //	snaccbench -all               # everything
 //	snaccbench -all -j 8          # shard independent rigs over 8 workers
 //	snaccbench -perfreport        # write BENCH_parallel.json
@@ -60,6 +61,7 @@ func main() {
 	latency := flag.Bool("latency", false, "run the latency-breakdown rig (per-stage latency percentiles from span tracing), write BENCH_latency.json")
 	queuesArg := flag.String("queues", "", "comma-separated I/O queue counts for the multi-queue submission sweep (each 1..8), write BENCH_queues.json")
 	kwArg := flag.String("kernelworkers", "", "comma-separated worker counts for the sharded-kernel sweep (results identical at any count), write BENCH_kernel.json")
+	tenants := flag.Bool("tenants", false, "run the multi-tenant QoS sweep (victim vs noisy neighbor, DRR vs FIFO), write BENCH_tenants.json")
 	flag.Parse()
 
 	// Flag validation mirrors snacctrace: a value outside the known set is a
@@ -70,6 +72,18 @@ func main() {
 	}
 	if *jobs < 1 {
 		fail("invalid -j %d (want >= 1)", *jobs)
+	}
+	// Scale flags feed transfer sizes and loop bounds directly; zero or
+	// negative values would silently produce empty tables (or spin), so they
+	// are usage errors too.
+	if *sizeMiB < 1 {
+		fail("invalid -size %d (want MiB >= 1)", *sizeMiB)
+	}
+	if *images < 1 {
+		fail("invalid -images %d (want >= 1)", *images)
+	}
+	if *samples < 1 {
+		fail("invalid -samples %d (want >= 1)", *samples)
 	}
 	switch *fig {
 	case "", "4a", "4b", "4c", "6", "7":
@@ -242,6 +256,19 @@ func main() {
 					os.Exit(1)
 				}
 				fmt.Println("wrote BENCH_kernel.json")
+			}
+		})
+	}
+	if *all || *tenants {
+		run("multi-tenant QoS sweep", func() {
+			table := bench.RenderTenantSweep(bench.TenantSweep(0, 0))
+			show(table)
+			if *tenants {
+				if err := os.WriteFile("BENCH_tenants.json", []byte(table.JSON()+"\n"), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Println("wrote BENCH_tenants.json")
 			}
 		})
 	}

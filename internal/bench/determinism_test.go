@@ -25,6 +25,7 @@ func renderSample() string {
 	b.WriteString(RenderFaultSweep(FaultSweep([]float64{0, 2}, 16*sim.MiB)).String())
 	b.WriteString(RenderCrashSweep(CrashSweep([]int64{0, 6}, 16*sim.MiB)).String())
 	b.WriteString(RenderQueueSweep(QueueSweep([]int{1, 4}, []int{1, 8}, 8*sim.MiB)).String())
+	b.WriteString(RenderTenantSweep(TenantSweep(100, 600)).String())
 	b.WriteString(RenderLatencyBreakdown(LatencyBreakdown(8 * sim.MiB)).String())
 	return b.String()
 }
@@ -62,7 +63,8 @@ func TestKernelWorkersDeterminism(t *testing.T) {
 	defer SetParallelism(1)
 
 	sample := func() string {
-		return RenderFig6(Fig6(48)).String()
+		return RenderFig6(Fig6(48)).String() +
+			RenderTenantSweep(TenantSweep(60, 360)).String()
 	}
 	SetParallelism(1)
 	SetKernelWorkers(1)

@@ -129,6 +129,13 @@ func TestRenderGolden(t *testing.T) {
 			{CrashEveryN: 16, GoodputGB: 4.8, Crashes: 4, Trips: 4, Resets: 4,
 				Replayed: 210, MTTRUs: 1250.4},
 		}).String()},
+		{"tenantsweep", RenderTenantSweep([]TenantSweepRow{
+			{Sched: "solo", Tenant: "victim", Reads: 400, KIOPS: 16.8, P50Us: 34.8, P99Us: 39.5, VsSolo: 1},
+			{Sched: "drr", Tenant: "victim", Reads: 400, KIOPS: 8.6, P50Us: 34.8, P99Us: 39.9, VsSolo: 1.01},
+			{Sched: "drr", Tenant: "noisy", Reads: 2400, KIOPS: 105.0, P50Us: 368.6, P99Us: 450.6},
+			{Sched: "fifo", Tenant: "victim", Reads: 400, KIOPS: 9.2, P50Us: 34.8, P99Us: 442.4, VsSolo: 11.19},
+			{Sched: "fifo", Tenant: "noisy", Reads: 2400, KIOPS: 105.0, P50Us: 368.6, P99Us: 442.4},
+		}).String()},
 		{"striped_degraded", RenderStripedDegraded(StripedDegradedRow{
 			Members: 2, DeadMember: 1, WriteGB: 4.1, DegradedWrites: 7,
 			DegradedReads: 8, SurvivorBytes: 8 * sim.MiB,

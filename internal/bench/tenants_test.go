@@ -1,0 +1,48 @@
+package bench
+
+import "testing"
+
+// TestTenantIsolationBound pins the tentpole QoS guarantee from both sides:
+// under the DRR scheduler a bursty noisy neighbor offering several times its
+// weight's fair share leaves the victim's p99 read latency within
+// IsolationBound of its solo run, while the FIFO baseline — identical rig,
+// arrival-order dispatch — blows through the same bound. If a scheduler
+// change weakens isolation (or accidentally cripples the baseline into
+// passing), this fails with the measured ratios.
+func TestTenantIsolationBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the three-rig tenant sweep")
+	}
+	rows := TenantSweep(0, 0)
+	byKey := map[string]TenantSweepRow{}
+	for _, r := range rows {
+		byKey[r.Sched+"/"+r.Tenant] = r
+	}
+	solo, ok := byKey["solo/victim"]
+	if !ok || solo.P99Us <= 0 {
+		t.Fatalf("missing solo victim baseline: %+v", rows)
+	}
+	drr := byKey["drr/victim"]
+	fifo := byKey["fifo/victim"]
+	if drr.VsSolo <= 0 || drr.VsSolo > IsolationBound {
+		t.Errorf("drr victim p99 = %.1f µs, %.2fx solo — want within %.1fx",
+			drr.P99Us, drr.VsSolo, IsolationBound)
+	}
+	if fifo.VsSolo <= IsolationBound {
+		t.Errorf("fifo victim p99 = %.1f µs, %.2fx solo — expected the baseline to exceed %.1fx (is the neighbor still saturating?)",
+			fifo.P99Us, fifo.VsSolo, IsolationBound)
+	}
+	// The neighbor is the aggressor, not a victim: it must have kept the
+	// device busy for the whole victim run under both schedulers.
+	for _, sched := range []string{"drr", "fifo"} {
+		n := byKey[sched+"/noisy"]
+		if n.Reads == 0 || n.KIOPS == 0 {
+			t.Errorf("%s noisy neighbor idle: %+v", sched, n)
+		}
+	}
+	// Weighted sharing still serves the neighbor: DRR must not starve it
+	// relative to the FIFO baseline by more than half.
+	if d, f := byKey["drr/noisy"], byKey["fifo/noisy"]; d.KIOPS < f.KIOPS/2 {
+		t.Errorf("drr starves the noisy tenant: %.1f kIOPS vs fifo %.1f", d.KIOPS, f.KIOPS)
+	}
+}

@@ -110,9 +110,20 @@ func (h *Hist) Max() sim.Time { return h.max }
 // Percentile returns the value at or below which p percent of samples fall,
 // quantized to the containing bucket's upper bound and clamped into
 // [Min, Max] so the extremes stay exact.
+//
+// Contract for out-of-range input: p is clamped into [0, 100] (p <= 0 yields
+// Min, p >= 100 yields Max) and NaN yields 0 — a poisoned quantile must not
+// masquerade as a real latency. int64(NaN) is platform-dependent in Go, so
+// without the explicit check the result would differ across architectures.
 func (h *Hist) Percentile(p float64) sim.Time {
-	if h.n == 0 {
+	if h.n == 0 || math.IsNaN(p) {
 		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
 	}
 	rank := int64(math.Ceil(p / 100 * float64(h.n)))
 	if rank < 1 {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -117,5 +118,55 @@ func BenchmarkHistRecord(b *testing.B) {
 	}
 	if h.Count() != int64(b.N) {
 		b.Fatal("miscount")
+	}
+}
+
+// TestHistPercentileContract pins the out-of-range input contract: p is
+// clamped into [0, 100] and NaN returns 0, on empty, single-sample, and
+// populated histograms alike.
+func TestHistPercentileContract(t *testing.T) {
+	var empty Hist
+
+	var single Hist
+	single.Record(77)
+
+	var multi Hist
+	for v := sim.Time(1); v <= 100; v++ {
+		multi.Record(v)
+	}
+
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		h    *Hist
+		p    float64
+		want sim.Time
+	}{
+		{"empty p50", &empty, 50, 0},
+		{"empty NaN", &empty, nan, 0},
+		{"empty negative", &empty, -10, 0},
+		{"empty over", &empty, 250, 0},
+		{"single p0", &single, 0, 77},
+		{"single p50", &single, 50, 77},
+		{"single p100", &single, 100, 77},
+		{"single negative clamps to min", &single, -5, 77},
+		{"single over clamps to max", &single, 101, 77},
+		{"single NaN", &single, nan, 0},
+		{"multi p0 clamps to min", &multi, 0, 1},
+		{"multi negative clamps to min", &multi, -273.15, 1},
+		{"multi p100 is max", &multi, 100, 100},
+		{"multi over clamps to max", &multi, 1e9, 100},
+		{"multi +Inf clamps to max", &multi, math.Inf(1), 100},
+		{"multi -Inf clamps to min", &multi, math.Inf(-1), 1},
+		{"multi NaN", &multi, nan, 0},
+	}
+	for _, tc := range cases {
+		if got := tc.h.Percentile(tc.p); got != tc.want {
+			t.Errorf("%s: Percentile(%v) = %v, want %v", tc.name, tc.p, got, tc.want)
+		}
+	}
+	// In-range quantiles keep their ~3% bucket-quantization guarantee.
+	if got := multi.Percentile(50); float64(got) < 50 || float64(got) > 52 {
+		t.Errorf("p50 = %v, want within [50, 52]", got)
 	}
 }

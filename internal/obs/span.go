@@ -109,6 +109,10 @@ type Span struct {
 	// Queue is the I/O queue pair the command was placed on (0 in the
 	// single-queue configuration; sticky across retries and replays).
 	Queue int
+	// Tenant is the tenant the command was submitted for (0 both for the
+	// first tenant and for untenanted traffic; fixed at Begin time so every
+	// retry and replay of the command stays attributed to its owner).
+	Tenant int
 
 	closed bool
 }
@@ -190,6 +194,12 @@ type Tracer struct {
 	doorbells   int64
 	commands    int64
 
+	// openedT/closedT count spans per tenant, indexed by tenant and grown
+	// on demand; the multi-tenant invariant tests diff them per tenant the
+	// way opened/closed are diffed globally.
+	openedT []int64
+	closedT []int64
+
 	spans    []Span
 	stage    [NumStages]Hist
 	readE2E  Hist
@@ -212,18 +222,39 @@ func NewTracer(limit int) *Tracer {
 }
 
 // Begin opens a span for one NVMe command, marking StageAccepted at `at`.
+// Equivalent to BeginTenant with tenant 0, so untenanted callers need no
+// change when tenancy is off.
 func (t *Tracer) Begin(op uint8, write bool, addr uint64, n int64, at sim.Time) *Span {
+	return t.BeginTenant(op, write, addr, n, at, 0)
+}
+
+// BeginTenant opens a span attributed to one tenant, marking StageAccepted
+// at `at`. Negative tenant indices clamp to 0.
+func (t *Tracer) BeginTenant(op uint8, write bool, addr uint64, n int64, at sim.Time, tenant int) *Span {
 	if t == nil {
 		return nil
 	}
+	if tenant < 0 {
+		tenant = 0
+	}
 	t.opened++
-	sp := &Span{ID: t.nextID, Op: op, Write: write, Addr: addr, Len: n}
+	t.openedT = growCount(t.openedT, tenant)
+	t.openedT[tenant]++
+	sp := &Span{ID: t.nextID, Op: op, Write: write, Addr: addr, Len: n, Tenant: tenant}
 	t.nextID++
 	for i := range sp.Stages {
 		sp.Stages[i] = unmarked
 	}
 	sp.Stages[StageAccepted] = at
 	return sp
+}
+
+// growCount extends a per-tenant counter slice to cover index i.
+func growCount(s []int64, i int) []int64 {
+	for len(s) <= i {
+		s = append(s, 0)
+	}
+	return s
 }
 
 // End closes a span: marks StageRetired at `at`, latches the final status,
@@ -242,6 +273,8 @@ func (t *Tracer) End(sp *Span, status uint16, at sim.Time) {
 	sp.Status = status
 	sp.closed = true
 	t.closed++
+	t.closedT = growCount(t.closedT, sp.Tenant)
+	t.closedT[sp.Tenant]++
 	prev := unmarked
 	for st, ts := range sp.Stages {
 		if ts == unmarked {
@@ -283,12 +316,22 @@ func (t *Tracer) Event(k AnnotKind, at sim.Time) {
 }
 
 // Spans returns a copy of the retained completed spans, in completion order.
+// The copy is deep: each span's Annots slice is cloned too, so mutating a
+// returned span can never corrupt the tracer's retained state (a shallow
+// copy would alias the Annot backing arrays).
 func (t *Tracer) Spans() []Span {
 	if t == nil {
 		return nil
 	}
 	out := make([]Span, len(t.spans))
 	copy(out, t.spans)
+	for i := range out {
+		if len(out[i].Annots) > 0 {
+			annots := make([]Annot, len(out[i].Annots))
+			copy(annots, out[i].Annots)
+			out[i].Annots = annots
+		}
+	}
 	return out
 }
 
@@ -340,6 +383,22 @@ func (t *Tracer) Closed() int64 {
 		return 0
 	}
 	return t.closed
+}
+
+// OpenedByTenant returns spans begun for tenant i (0 for out-of-range i).
+func (t *Tracer) OpenedByTenant(i int) int64 {
+	if t == nil || i < 0 || i >= len(t.openedT) {
+		return 0
+	}
+	return t.openedT[i]
+}
+
+// ClosedByTenant returns spans ended for tenant i (0 for out-of-range i).
+func (t *Tracer) ClosedByTenant(i int) int64 {
+	if t == nil || i < 0 || i >= len(t.closedT) {
+		return 0
+	}
+	return t.closedT[i]
 }
 
 // Dropped returns completed spans not retained because of the span limit.

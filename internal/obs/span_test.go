@@ -216,3 +216,72 @@ func TestStageAndAnnotStrings(t *testing.T) {
 		t.Fatal("annot names wrong")
 	}
 }
+
+// TestTracerTenantCounters: BeginTenant/End maintain per-tenant opened and
+// closed counts that sum to the global ones, Begin attributes to tenant 0,
+// and negative tenants clamp to 0.
+func TestTracerTenantCounters(t *testing.T) {
+	tr := NewTracer(8)
+	a := tr.BeginTenant(0x02, false, 0, 4096, 1, 0)
+	b := tr.BeginTenant(0x02, false, 0, 4096, 2, 2)
+	c := tr.Begin(0x01, true, 0, 4096, 3) // tenant 0
+	d := tr.BeginTenant(0x01, true, 0, 4096, 4, -7)
+	if b.Tenant != 2 || a.Tenant != 0 || c.Tenant != 0 || d.Tenant != 0 {
+		t.Fatalf("tenants = %d/%d/%d/%d", a.Tenant, b.Tenant, c.Tenant, d.Tenant)
+	}
+	if tr.OpenedByTenant(0) != 3 || tr.OpenedByTenant(1) != 0 || tr.OpenedByTenant(2) != 1 {
+		t.Fatalf("opened by tenant = %d/%d/%d",
+			tr.OpenedByTenant(0), tr.OpenedByTenant(1), tr.OpenedByTenant(2))
+	}
+	tr.End(a, 0, 10)
+	tr.End(b, 0, 11)
+	if tr.ClosedByTenant(0) != 1 || tr.ClosedByTenant(2) != 1 {
+		t.Fatalf("closed by tenant = %d/%d", tr.ClosedByTenant(0), tr.ClosedByTenant(2))
+	}
+	var sum int64
+	for i := 0; i < 3; i++ {
+		sum += tr.OpenedByTenant(i)
+	}
+	if sum != tr.Opened() {
+		t.Fatalf("per-tenant opened sums to %d, global %d", sum, tr.Opened())
+	}
+	// Out-of-range lookups and nil tracers are safe zeros.
+	if tr.OpenedByTenant(-1) != 0 || tr.OpenedByTenant(99) != 0 {
+		t.Fatal("out-of-range tenant lookup not zero")
+	}
+	var nilTr *Tracer
+	if nilTr.OpenedByTenant(0) != 0 || nilTr.ClosedByTenant(0) != 0 {
+		t.Fatal("nil tracer tenant lookup not zero")
+	}
+	if sp := nilTr.BeginTenant(0, false, 0, 0, 0, 1); sp != nil {
+		t.Fatal("nil tracer BeginTenant returned a span")
+	}
+	// Tenant survives retirement into the retained copy.
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[1].Tenant != 2 {
+		t.Fatalf("retained spans lost tenant attribution: %+v", spans)
+	}
+}
+
+// TestSpansDeepCopy is the aliasing regression test: mutating a span (and
+// its Annots) returned by Spans must not change what the next call returns.
+func TestSpansDeepCopy(t *testing.T) {
+	tr := NewTracer(8)
+	sp := tr.Begin(0x02, false, 0, 4096, 1)
+	sp.Annotate(AnnotRetry, 5)
+	sp.Annotate(AnnotTimeout, 6)
+	tr.End(sp, 0, 10)
+
+	got := tr.Spans()
+	got[0].Annots[0].Kind = AnnotDead
+	got[0].Annots[1].At = 999
+	got[0].Status = 0xFF
+
+	again := tr.Spans()
+	if again[0].Annots[0].Kind != AnnotRetry || again[0].Annots[1].At != 6 {
+		t.Error("Spans aliases the retained Annots backing array")
+	}
+	if again[0].Status == 0xFF {
+		t.Error("Spans aliases retained span fields")
+	}
+}

@@ -33,7 +33,13 @@ func (c *Client) Write(p *sim.Proc, addr uint64, n int64, data []byte) {
 
 // WriteAsync streams the write without waiting for the response token.
 func (c *Client) WriteAsync(p *sim.Proc, addr uint64, n int64, data []byte) {
-	c.s.WriteIn.Send(p, axis.Packet{Meta: WriteRequest{Addr: addr}})
+	c.writeAsyncT(p, 0, addr, n, data)
+}
+
+// writeAsyncT is WriteAsync with the command attributed to a tenant, so a
+// TenantHub's issue path keeps span ownership across striping.
+func (c *Client) writeAsyncT(p *sim.Proc, tenant int, addr uint64, n int64, data []byte) {
+	c.s.WriteIn.Send(p, axis.Packet{Meta: WriteRequest{Addr: addr, Tenant: tenant}})
 	var off int64
 	for off < n {
 		m := c.PktBytes
@@ -72,7 +78,12 @@ func (c *Client) WriteErr(p *sim.Proc, addr uint64, n int64, data []byte) error 
 
 // ReadAsync issues a read command without consuming the data.
 func (c *Client) ReadAsync(p *sim.Proc, addr uint64, n int64) {
-	c.s.ReadCmd.Send(p, axis.Packet{Meta: ReadRequest{Addr: addr, Len: n}})
+	c.readAsyncT(p, 0, addr, n)
+}
+
+// readAsyncT is ReadAsync with the command attributed to a tenant.
+func (c *Client) readAsyncT(p *sim.Proc, tenant int, addr uint64, n int64) {
+	c.s.ReadCmd.Send(p, axis.Packet{Meta: ReadRequest{Addr: addr, Len: n, Tenant: tenant}})
 }
 
 // ConsumeRead drains packets for one read request (until TLAST) and
@@ -122,7 +133,12 @@ func (c *Client) Read(p *sim.Proc, addr uint64, n int64) []byte {
 // ReadErr performs a blocking read of n bytes, surfacing stream error flags
 // instead of panicking on a short delivery.
 func (c *Client) ReadErr(p *sim.Proc, addr uint64, n int64) ([]byte, error) {
-	c.ReadAsync(p, addr, n)
+	return c.readErrT(p, 0, addr, n)
+}
+
+// readErrT is ReadErr with the command attributed to a tenant.
+func (c *Client) readErrT(p *sim.Proc, tenant int, addr uint64, n int64) ([]byte, error) {
+	c.readAsyncT(p, tenant, addr, n)
 	got, data, err := c.ConsumeReadErr(p)
 	if err == nil && got != n {
 		panic("streamer: read returned unexpected length")

@@ -18,6 +18,9 @@ import (
 type ReadRequest struct {
 	Addr uint64
 	Len  int64
+	// Tenant attributes the command's spans to a tenant when the streamer
+	// is fronted by a TenantHub. Zero for untenanted traffic.
+	Tenant int
 }
 
 // WriteRequest is the metadata of the first beat on the write stream
@@ -25,6 +28,9 @@ type ReadRequest struct {
 // write address"); the data beats follow, delimited by TLAST.
 type WriteRequest struct {
 	Addr uint64
+	// Tenant attributes the command's spans to a tenant when the streamer
+	// is fronted by a TenantHub. Zero for untenanted traffic.
+	Tenant int
 }
 
 // CmdError is the side-band (TUSER) metadata flagging a failed command on
@@ -818,7 +824,7 @@ func (s *Streamer) readCmdLoop(p *sim.Proc) {
 			if n > req.Len-off {
 				n = req.Len - off
 			}
-			span := s.tr.Begin(nvme.OpRead, false, req.Addr+uint64(off), n, p.Now())
+			span := s.tr.BeginTenant(nvme.OpRead, false, req.Addr+uint64(off), n, p.Now(), req.Tenant)
 			occupy(p, s.submitFSM, s.cfg.SubmitOverhead)
 			slot := s.robAlloc(p)
 			bufOff := s.allocReadBuf(p, n)
@@ -878,7 +884,7 @@ func (s *Streamer) writeLoop(p *sim.Proc) {
 			if filled%s.lbaSize != 0 {
 				panic("streamer: write length must be a multiple of the LBA size")
 			}
-			span := s.tr.Begin(nvme.OpWrite, true, devAddr, filled, pieceStart)
+			span := s.tr.BeginTenant(nvme.OpWrite, true, devAddr, filled, pieceStart, req.Tenant)
 			occupy(p, s.submitFSM, s.cfg.SubmitOverhead)
 			slot := s.robAlloc(p)
 			bufOff := s.allocWriteBuf(p, filled)

@@ -38,6 +38,7 @@ type stripeJob struct {
 	n       int64
 	data    []byte
 	tracker *stripeTracker
+	tenant  int
 }
 
 // stripeTracker counts a write call's outstanding runs and keeps the first
@@ -76,7 +77,7 @@ func NewStriped(k *sim.Kernel, streamers []*Streamer, stripeBytes int64) *Stripe
 			p.SetDaemon(true)
 			for {
 				j := jobs.Get(p)
-				c.WriteAsync(p, j.devAddr, j.n, j.data)
+				c.writeAsyncT(p, j.tenant, j.devAddr, j.n, j.data)
 				acks.Put(p, j.tracker)
 			}
 		})
@@ -165,6 +166,12 @@ func (s *Striped) byMember(runs []stripeRun) [][]stripeRun {
 // WaitWrite. Independent calls pipeline across images/requests while each
 // member's stream stays correctly framed.
 func (s *Striped) WriteAsync(p *sim.Proc, addr uint64, n int64, data []byte) {
+	s.WriteAsyncT(p, 0, addr, n, data)
+}
+
+// WriteAsyncT is WriteAsync with the command's spans attributed to a tenant,
+// so per-tenant attribution survives striping across members.
+func (s *Striped) WriteAsyncT(p *sim.Proc, tenant int, addr uint64, n int64, data []byte) {
 	runs := s.mapRange(addr, n)
 	tr := &stripeTracker{remaining: len(runs), s: s}
 	for _, r := range runs {
@@ -172,7 +179,7 @@ func (s *Striped) WriteAsync(p *sim.Proc, addr uint64, n int64, data []byte) {
 		if data != nil {
 			d = data[r.off : r.off+r.n]
 		}
-		s.jobs[r.member].Put(p, stripeJob{devAddr: r.devAddr, n: r.n, data: d, tracker: tr})
+		s.jobs[r.member].Put(p, stripeJob{devAddr: r.devAddr, n: r.n, data: d, tracker: tr, tenant: tenant})
 	}
 }
 
@@ -220,6 +227,11 @@ func (s *Striped) Read(p *sim.Proc, addr uint64, n int64) []byte {
 // streaming theirs. On error the returned buffer still holds the survivors'
 // bytes (the dead member's runs read as zero).
 func (s *Striped) ReadErr(p *sim.Proc, addr uint64, n int64) ([]byte, error) {
+	return s.ReadErrT(p, 0, addr, n)
+}
+
+// ReadErrT is ReadErr with the command's spans attributed to a tenant.
+func (s *Striped) ReadErrT(p *sim.Proc, tenant int, addr uint64, n int64) ([]byte, error) {
 	grouped := s.byMember(s.mapRange(addr, n))
 	out := make([]byte, n)
 	done := sim.NewChan[stripeReadResult](s.k, len(s.clients))
@@ -234,7 +246,7 @@ func (s *Striped) ReadErr(p *sim.Proc, addr uint64, n int64) ([]byte, error) {
 		s.k.Spawn("stripe.r", func(rp *sim.Proc) {
 			res := stripeReadResult{}
 			for _, r := range runs {
-				d, err := c.ReadErr(rp, r.devAddr, r.n)
+				d, err := c.readErrT(rp, tenant, r.devAddr, r.n)
 				if err != nil {
 					s.degradedReads++
 					if res.err == nil {

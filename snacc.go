@@ -46,6 +46,14 @@ type LatencyHist = obs.Hist
 // Variant selects the NVMe Streamer's payload buffer memory (paper §4.3).
 type Variant = streamer.Variant
 
+// TenantConfig describes one tenant of a virtualized Streamer: its isolated
+// LBA window, DRR weight, optional token-bucket rate limit, and admission
+// cap. See streamer.TenantConfig for field semantics and defaults.
+type TenantConfig = streamer.TenantConfig
+
+// TenantStats is one tenant's per-tenant counter snapshot.
+type TenantStats = streamer.TenantStats
+
 // The three Streamer variants.
 const (
 	URAM        = streamer.URAM
@@ -98,6 +106,14 @@ type Options struct {
 	// latency histograms. Without it the pipeline is uninstrumented and
 	// pays nothing.
 	Trace *TraceOptions
+	// Tenants, when non-empty, virtualizes the Streamer: each tenant gets
+	// its own command/data stream pair, an isolated LBA window enforced on
+	// every submission, a weighted share of the device under deficit
+	// round-robin scheduling, and optional token-bucket rate limiting with
+	// admission control. Tenant traffic goes through Handle.TenantRead /
+	// TenantWrite; the raw Handle.Read / Write entry points panic, since
+	// they would bypass the isolation windows.
+	Tenants []TenantConfig
 }
 
 // TraceOptions configures the observability layer.
@@ -192,9 +208,11 @@ type System struct {
 	dev      *nvme.Device
 	st       *streamer.Streamer
 	client   *streamer.Client
-	injector *fault.Injector // nil unless Options.Faults was set
-	tracer   *obs.Tracer     // nil unless Options.Trace was set
-	boundary *pcie.Tracer    // nil unless Options.Trace.Boundary was set
+	injector *fault.Injector     // nil unless Options.Faults was set
+	tracer   *obs.Tracer         // nil unless Options.Trace was set
+	boundary *pcie.Tracer        // nil unless Options.Trace.Boundary was set
+	hub      *streamer.TenantHub // nil unless Options.Tenants was set
+	tclients []*streamer.TenantClient
 }
 
 // systemBARWindow is where enumeration places discovered device BARs.
@@ -297,9 +315,20 @@ func NewSystem(opts Options) (*System, error) {
 	if !done {
 		return nil, fmt.Errorf("snacc: initialization stalled")
 	}
-	return &System{kernel: k, shard: shard, plat: pl, dev: dev, st: st,
+	sys := &System{kernel: k, shard: shard, plat: pl, dev: dev, st: st,
 		client: streamer.NewClient(st), injector: injector,
-		tracer: tracer, boundary: boundary}, nil
+		tracer: tracer, boundary: boundary}
+	if len(opts.Tenants) > 0 {
+		hub, err := streamer.NewTenantHub(k, st, opts.Tenants, streamer.HubOptions{})
+		if err != nil {
+			return nil, err
+		}
+		sys.hub = hub
+		for i := 0; i < hub.Tenants(); i++ {
+			sys.tclients = append(sys.tclients, hub.Client(i))
+		}
+	}
+	return sys, nil
 }
 
 // attachBoundaryTracer installs a PCIe tracer at the staging-buffer
@@ -451,39 +480,80 @@ func (s *System) KernelWorkers() int {
 // Now returns the current simulated time in nanoseconds.
 func (h *Handle) Now() int64 { return int64(h.p.Now()) }
 
+// client returns the raw (untenanted) streamer client, panicking when the
+// system is virtualized — raw access would bypass the tenant LBA windows.
+func (h *Handle) client() *streamer.Client {
+	if h.sys.hub != nil {
+		panic("snacc: Streamer is virtualized (Options.Tenants); use TenantRead/TenantWrite")
+	}
+	return h.sys.client
+}
+
+// tenant returns tenant i's client, panicking when the system has no
+// tenants or the index is out of range.
+func (h *Handle) tenant(i int) *streamer.TenantClient {
+	if h.sys.hub == nil {
+		panic("snacc: no tenants configured (set Options.Tenants)")
+	}
+	if i < 0 || i >= len(h.sys.tclients) {
+		panic(fmt.Sprintf("snacc: tenant %d out of range (%d configured)", i, len(h.sys.tclients)))
+	}
+	return h.sys.tclients[i]
+}
+
 // Write stores data at the given device byte address (512-aligned, length
 // a multiple of 512) and waits for the Streamer's response token.
 func (h *Handle) Write(addr uint64, data []byte) {
-	h.sys.client.Write(h.p, addr, int64(len(data)), data)
+	h.client().Write(h.p, addr, int64(len(data)), data)
 }
 
 // WriteTimed performs a timing-only write of n bytes.
 func (h *Handle) WriteTimed(addr uint64, n int64) {
-	h.sys.client.Write(h.p, addr, n, nil)
+	h.client().Write(h.p, addr, n, nil)
 }
 
 // Read returns n bytes from the given device byte address.
 func (h *Handle) Read(addr uint64, n int64) []byte {
-	return h.sys.client.Read(h.p, addr, n)
+	return h.client().Read(h.p, addr, n)
 }
 
 // ReadTimed performs a timing-only read of n bytes.
 func (h *Handle) ReadTimed(addr uint64, n int64) {
-	h.sys.client.ReadAsync(h.p, addr, n)
-	h.sys.client.ConsumeRead(h.p)
+	c := h.client()
+	c.ReadAsync(h.p, addr, n)
+	c.ConsumeRead(h.p)
 }
 
 // ReadErr is Read surfacing terminal NVMe errors (after the Streamer has
 // exhausted its retries) instead of panicking on the short delivery. The
 // returned data covers only the pieces that succeeded.
 func (h *Handle) ReadErr(addr uint64, n int64) ([]byte, error) {
-	return h.sys.client.ReadErr(h.p, addr, n)
+	return h.client().ReadErr(h.p, addr, n)
 }
 
 // WriteErr is Write surfacing the worst terminal NVMe status across the
 // write's pieces via the response token's error flag.
 func (h *Handle) WriteErr(addr uint64, data []byte) error {
-	return h.sys.client.WriteErr(h.p, addr, int64(len(data)), data)
+	return h.client().WriteErr(h.p, addr, int64(len(data)), data)
+}
+
+// TenantWrite stores data at a tenant-relative device byte address through
+// tenant's virtual stream pair. Addresses are relative to the tenant's LBA
+// window; out-of-window or unaligned requests return the per-tenant
+// rejection error without touching the device.
+func (h *Handle) TenantWrite(tenant int, addr uint64, data []byte) error {
+	return h.tenant(tenant).WriteErr(h.p, addr, int64(len(data)), data)
+}
+
+// TenantWriteTimed is a timing-only TenantWrite of n bytes.
+func (h *Handle) TenantWriteTimed(tenant int, addr uint64, n int64) error {
+	return h.tenant(tenant).WriteErr(h.p, addr, n, nil)
+}
+
+// TenantRead returns n bytes from a tenant-relative device byte address,
+// surfacing window rejections and terminal NVMe errors.
+func (h *Handle) TenantRead(tenant int, addr uint64, n int64) ([]byte, error) {
+	return h.tenant(tenant).ReadErr(h.p, addr, n)
 }
 
 // Sleep advances this process by d nanoseconds of simulated time.
@@ -563,6 +633,10 @@ type Stats struct {
 	SimTime int64
 	// SimEvents counts discrete-event executions (simulator work).
 	SimEvents uint64
+	// Tenants holds one per-tenant counter snapshot per configured tenant
+	// (nil without Options.Tenants). Completed tenant payload sums match the
+	// global BytesToPE / BytesFromPE counters.
+	Tenants []TenantStats
 }
 
 // Stats snapshots the system counters.
@@ -595,7 +669,35 @@ func (s *System) Stats() Stats {
 		PCIeHostRx:        s.plat.Host.Port.PayloadRx(),
 		SimTime:           int64(s.kernel.Now()),
 		SimEvents:         s.kernel.EventsExecuted(),
+		Tenants:           s.TenantStats(),
 	}
+}
+
+// TenantStats snapshots the per-tenant counters, or nil when the system was
+// built without Options.Tenants.
+func (s *System) TenantStats() []TenantStats {
+	if s.hub == nil {
+		return nil
+	}
+	return s.hub.Stats()
+}
+
+// TenantReadLatency returns tenant i's accept→complete read-latency
+// histogram (the zero histogram without Options.Tenants).
+func (s *System) TenantReadLatency(i int) LatencyHist {
+	if s.hub == nil {
+		return LatencyHist{}
+	}
+	return s.hub.ReadLatency(i)
+}
+
+// TenantWriteLatency returns tenant i's accept→complete write-latency
+// histogram (the zero histogram without Options.Tenants).
+func (s *System) TenantWriteLatency(i int) LatencyHist {
+	if s.hub == nil {
+		return LatencyHist{}
+	}
+	return s.hub.WriteLatency(i)
 }
 
 // FaultsInjected returns the number of faults the injector has fired, or 0
