@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke cover latency faults crash queues perfreport kernel tenants
+.PHONY: build test race vet bench bench-smoke cover latency faults crash queues perfreport kernel tenants cluster
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,8 @@ race:
 	$(GO) test -race -run 'Fault|Retry|Timeout|CQE|Crash|Breaker|Death|CFS|Degraded|Span|Wrap|MultiQueue|Tenant' ./internal/streamer/
 	$(GO) test -race -run 'KernelWorkers' ./internal/casestudy/ .
 	$(GO) test -race -run 'TestParallelDeterminism|TestKernelSweep' ./internal/bench/
+	$(GO) test -race ./internal/cluster/
+	$(GO) test -race -run 'TestClusterRandomizedDataIntegrity' .
 
 vet:
 	$(GO) vet ./...
@@ -37,6 +39,7 @@ cover:
 		$$2 == "snacc/internal/workload" && pct + 0 < 88 { bad = bad "  " $$2 ": " pct "% < 88%\n" } \
 		$$2 == "snacc/internal/bench"    && pct + 0 < 86 { bad = bad "  " $$2 ": " pct "% < 86%\n" } \
 		$$2 == "snacc/internal/streamer" && pct + 0 < 88 { bad = bad "  " $$2 ": " pct "% < 88%\n" } \
+		$$2 == "snacc/internal/cluster"  && pct + 0 < 85 { bad = bad "  " $$2 ": " pct "% < 85%\n" } \
 		END { if (bad != "") { printf "coverage ratchet failed:\n%s", bad; exit 1 } }' cover.txt
 	@rm -f cover.txt
 
@@ -84,6 +87,14 @@ queues:
 tenants:
 	$(GO) test -run 'Tenant' ./internal/streamer/ ./internal/bench/ .
 	$(GO) run ./cmd/snaccbench -tenants
+
+# Replicated-cluster suite: failover/re-replication/rejoin unit tests, the
+# kill-a-node data-integrity property, and the nodes×R×quorum sweep plus
+# availability timeline -> BENCH_cluster.json
+cluster:
+	$(GO) test ./internal/cluster/
+	$(GO) test -run 'TestClusterRandomizedDataIntegrity' .
+	$(GO) run ./cmd/snaccbench -cluster
 
 # Serial-vs-parallel suite wall time + kernel throughput -> BENCH_parallel.json
 perfreport:

@@ -16,6 +16,8 @@
 //	snaccbench -queues 1,2,4,8    # multi-queue submission sweep, write BENCH_queues.json
 //	snaccbench -kernelworkers 1,2,4 # sharded-kernel worker sweep, write BENCH_kernel.json
 //	snaccbench -tenants           # multi-tenant QoS sweep, write BENCH_tenants.json
+//	snaccbench -cluster           # replicated-cluster sweep + availability timeline, write BENCH_cluster.json
+//	snaccbench -cluster -nodes 4 -replication 3 -quorum 2  # one custom cluster shape
 //	snaccbench -all               # everything
 //	snaccbench -all -j 8          # shard independent rigs over 8 workers
 //	snaccbench -perfreport        # write BENCH_parallel.json
@@ -62,6 +64,10 @@ func main() {
 	queuesArg := flag.String("queues", "", "comma-separated I/O queue counts for the multi-queue submission sweep (each 1..8), write BENCH_queues.json")
 	kwArg := flag.String("kernelworkers", "", "comma-separated worker counts for the sharded-kernel sweep (results identical at any count), write BENCH_kernel.json")
 	tenants := flag.Bool("tenants", false, "run the multi-tenant QoS sweep (victim vs noisy neighbor, DRR vs FIFO), write BENCH_tenants.json")
+	clusterRun := flag.Bool("cluster", false, "run the replicated-cluster sweep (node kill, failover, re-replication) and availability timeline, write BENCH_cluster.json")
+	clusterNodes := flag.Int("nodes", 0, "with -cluster: run a single nodes/replication/quorum shape instead of the default grid")
+	clusterRepl := flag.Int("replication", 0, "with -cluster -nodes: replica count per chunk")
+	clusterQuorum := flag.Int("quorum", 0, "with -cluster -nodes: write acknowledgements required before completion")
 	flag.Parse()
 
 	// Flag validation mirrors snacctrace: a value outside the known set is a
@@ -119,6 +125,26 @@ func main() {
 			}
 			kwCounts = append(kwCounts, n)
 		}
+	}
+
+	// A custom cluster shape must be a valid replication arrangement:
+	// at least two nodes, and 1 <= quorum <= replication <= nodes.
+	clusterGrid := [][3]int{{3, 2, 1}, {3, 2, 2}, {3, 3, 2}, {4, 2, 1}, {4, 3, 2}, {5, 3, 2}}
+	if *clusterNodes != 0 || *clusterRepl != 0 || *clusterQuorum != 0 {
+		if !*clusterRun {
+			fail("-nodes/-replication/-quorum require -cluster")
+		}
+		n, r, q := *clusterNodes, *clusterRepl, *clusterQuorum
+		if n < 2 {
+			fail("invalid -nodes %d (want >= 2)", n)
+		}
+		if r < 1 || r > n {
+			fail("invalid -replication %d (want 1 <= replication <= nodes=%d)", r, n)
+		}
+		if q < 1 || q > r {
+			fail("invalid -quorum %d (want 1 <= quorum <= replication=%d)", q, r)
+		}
+		clusterGrid = [][3]int{{n, r, q}}
 	}
 
 	bench.SetParallelism(*jobs)
@@ -269,6 +295,22 @@ func main() {
 					os.Exit(1)
 				}
 				fmt.Println("wrote BENCH_tenants.json")
+			}
+		})
+	}
+	if *all || *clusterRun {
+		run("replicated-cluster sweep", func() {
+			table := bench.RenderClusterSweep(bench.ClusterSweep(clusterGrid, size/32))
+			show(table)
+			if *clusterRun {
+				pts, st := bench.ClusterTimeline(24*sim.Millisecond, 2*sim.Millisecond)
+				fmt.Println(bench.RenderTimeline("3-node R=2 cluster, node 1 partitioned for a quarter of the run", pts, 8))
+				show(bench.RenderClusterRecovery(st))
+				if err := os.WriteFile("BENCH_cluster.json", []byte(table.JSON()+"\n"), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Println("wrote BENCH_cluster.json")
 			}
 		})
 	}

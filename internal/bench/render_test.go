@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"snacc/internal/casestudy"
+	"snacc/internal/cluster"
 	"snacc/internal/fpga"
 	"snacc/internal/sim"
 )
@@ -139,6 +140,17 @@ func TestRenderGolden(t *testing.T) {
 		{"striped_degraded", RenderStripedDegraded(StripedDegradedRow{
 			Members: 2, DeadMember: 1, WriteGB: 4.1, DegradedWrites: 7,
 			DegradedReads: 8, SurvivorBytes: 8 * sim.MiB,
+		}).String()},
+		{"clustersweep", RenderClusterSweep([]ClusterSweepRow{
+			{Nodes: 3, Replication: 2, Quorum: 1, WriteGB: 4.8, NodeDeaths: 1,
+				Failovers: 3, ReRepMiB: 1.25, DegradedUs: 2140.5, Timeouts: 2},
+			{Nodes: 4, Replication: 3, Quorum: 3, WriteGB: 3.9, NodeDeaths: 1,
+				Failovers: 5, ReRepMiB: 2.5, DegradedUs: 3377.1, Timeouts: 4,
+				FailedWr: 2, UnderRep: 0},
+		}).String()},
+		{"clusterrecovery", RenderClusterRecovery(cluster.Stats{
+			NodeDeaths: 1, Rejoins: 1, Probes: 6, RequestTimeouts: 3,
+			LinkFramesDropped: 42, ReReplicatedBytes: 2 * sim.MiB,
 		}).String()},
 		{"latency", RenderLatencyBreakdown([]LatencyRow{
 			{Variant: "URAM", Op: "write", Stage: "fetched", Count: 256,

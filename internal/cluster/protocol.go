@@ -1,0 +1,67 @@
+package cluster
+
+// The remote streaming protocol is NVMe-oF in miniature: the coordinator
+// frames command capsules onto the simulated Ethernet link and each node
+// answers with a response capsule; data rides the same frames (write
+// payload with the command, read payload with the response), so a transfer
+// pays real store-and-forward, serialization, and 802.3x backpressure in
+// the MAC/switch models. The switch's per-egress FIFO gives per-node
+// in-order delivery, and every frame crosses shard domains over an edge
+// whose lookahead is the declared wire latency.
+
+// op selects a capsule's operation.
+type op uint8
+
+const (
+	// opWrite carries a replica write: payload in the frame, one response
+	// capsule acknowledging persistence.
+	opWrite op = iota
+	// opRead requests n bytes; the response capsule carries them back.
+	opRead
+	// opProbe is the health ladder's liveness check: a dead node's serve
+	// loop still answers (the simulated NIC outlives the NVMe controller),
+	// reporting whether its streamer can serve I/O.
+	opProbe
+)
+
+func (o op) String() string {
+	switch o {
+	case opWrite:
+		return "write"
+	case opRead:
+		return "read"
+	case opProbe:
+		return "probe"
+	default:
+		return "op?"
+	}
+}
+
+// capsuleBytes is the on-wire size of a command or response capsule —
+// 64 bytes, the NVMe-oF submission-capsule floor.
+const capsuleBytes = 64
+
+// capsule is one command from the coordinator to a node, riding Frame.Meta;
+// write payload rides Frame.Data alongside it.
+type capsule struct {
+	Op   op
+	ID   uint64 // request id, echoed by the response
+	Node int    // destination node
+	Addr uint64 // node-local device byte address
+	Len  int64
+}
+
+// response answers one capsule, riding Frame.Meta on the way back; read
+// payload rides Frame.Data.
+type response struct {
+	ID   uint64
+	Node int // responding node
+	OK   bool
+	// Err carries the node-side failure rendered to a string — capsules
+	// cross shard domains, so they carry plain data, not live error values.
+	Err string
+	// Timeout marks a synthesized response: the coordinator's watchdog
+	// expired before the node answered (the node never sent this).
+	Timeout bool
+	Len     int64
+}

@@ -1,0 +1,87 @@
+package fault
+
+import (
+	"testing"
+
+	"snacc/internal/sim"
+)
+
+func TestLinkInjectorWindow(t *testing.T) {
+	li := NewLinkInjector(1)
+	r := li.Add(LinkRule{Name: "partition", Drop: true,
+		From: 1000, Until: 2000})
+
+	if f := li.FrameFate(999); f.Drop || f.Delay != 0 {
+		t.Fatalf("frame before window affected: %+v", f)
+	}
+	if f := li.FrameFate(1000); !f.Drop {
+		t.Fatalf("frame at window start passed")
+	}
+	if f := li.FrameFate(1999); !f.Drop {
+		t.Fatalf("frame inside window passed")
+	}
+	if f := li.FrameFate(2000); f.Drop {
+		t.Fatalf("frame at window end dropped")
+	}
+	if r.Seen() != 2 || r.Fired() != 2 {
+		t.Fatalf("rule counters = seen %d fired %d, want 2/2", r.Seen(), r.Fired())
+	}
+	if li.Dropped() != 2 {
+		t.Fatalf("Dropped() = %d, want 2", li.Dropped())
+	}
+}
+
+func TestLinkInjectorDelayNthCount(t *testing.T) {
+	li := NewLinkInjector(1)
+	li.Add(LinkRule{Name: "congestion", Delay: 5 * sim.Microsecond,
+		Nth: 2, Count: 2})
+
+	var delays []sim.Time
+	for i := 0; i < 8; i++ {
+		delays = append(delays, li.FrameFate(sim.Time(i)).Delay)
+	}
+	want := []sim.Time{0, 5 * sim.Microsecond, 0, 5 * sim.Microsecond, 0, 0, 0, 0}
+	for i := range want {
+		if delays[i] != want[i] {
+			t.Fatalf("frame %d delay = %v, want %v (all: %v)", i, delays[i], want[i], delays)
+		}
+	}
+	if li.Delayed() != 2 {
+		t.Fatalf("Delayed() = %d, want 2", li.Delayed())
+	}
+}
+
+func TestLinkInjectorProbabilityDeterministic(t *testing.T) {
+	fates := func() []bool {
+		li := NewLinkInjector(42)
+		li.Add(LinkRule{Name: "lossy", Drop: true, Probability: 0.5})
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, li.FrameFate(sim.Time(i)).Drop)
+		}
+		return out
+	}
+	a, b := fates(), fates()
+	var hits int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("frame %d fate diverged across identical seeds", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Fatalf("p=0.5 rule fired %d/%d times — PRNG not exercised", hits, len(a))
+	}
+}
+
+func TestLinkInjectorNilSafe(t *testing.T) {
+	var li *LinkInjector
+	if f := li.FrameFate(0); f.Drop || f.Delay != 0 {
+		t.Fatalf("nil injector affected a frame: %+v", f)
+	}
+	if li.Dropped() != 0 || li.Delayed() != 0 {
+		t.Fatalf("nil injector counters non-zero")
+	}
+}

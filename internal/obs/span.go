@@ -113,6 +113,11 @@ type Span struct {
 	// first tenant and for untenanted traffic; fixed at Begin time so every
 	// retry and replay of the command stays attributed to its owner).
 	Tenant int
+	// Node is the cluster node that served the command (0 both for the
+	// first node and for single-node systems; stamped at Begin time from
+	// the tracer's node identity, so merged multi-node span sets stay
+	// attributable).
+	Node int
 
 	closed bool
 }
@@ -185,6 +190,7 @@ func (sp *Span) Monotone() bool {
 type Tracer struct {
 	limit  int
 	nextID uint64
+	node   int
 
 	opened      int64
 	closed      int64
@@ -228,6 +234,23 @@ func (t *Tracer) Begin(op uint8, write bool, addr uint64, n int64, at sim.Time) 
 	return t.BeginTenant(op, write, addr, n, at, 0)
 }
 
+// SetNode records the cluster node identity this tracer traces for; every
+// span it subsequently opens carries the id. Nil-receiver safe.
+func (t *Tracer) SetNode(id int) {
+	if t == nil {
+		return
+	}
+	t.node = id
+}
+
+// Node returns the tracer's node identity (0 unless SetNode was called).
+func (t *Tracer) Node() int {
+	if t == nil {
+		return 0
+	}
+	return t.node
+}
+
 // BeginTenant opens a span attributed to one tenant, marking StageAccepted
 // at `at`. Negative tenant indices clamp to 0.
 func (t *Tracer) BeginTenant(op uint8, write bool, addr uint64, n int64, at sim.Time, tenant int) *Span {
@@ -240,7 +263,7 @@ func (t *Tracer) BeginTenant(op uint8, write bool, addr uint64, n int64, at sim.
 	t.opened++
 	t.openedT = growCount(t.openedT, tenant)
 	t.openedT[tenant]++
-	sp := &Span{ID: t.nextID, Op: op, Write: write, Addr: addr, Len: n, Tenant: tenant}
+	sp := &Span{ID: t.nextID, Op: op, Write: write, Addr: addr, Len: n, Tenant: tenant, Node: t.node}
 	t.nextID++
 	for i := range sp.Stages {
 		sp.Stages[i] = unmarked

@@ -285,3 +285,28 @@ func TestSpansDeepCopy(t *testing.T) {
 		t.Error("Spans aliases retained span fields")
 	}
 }
+
+// TestSpanNodeAttribution pins the cluster node identity: spans opened by a
+// tracer stamped with SetNode carry the node id through retirement, and the
+// nil tracer stays safe.
+func TestSpanNodeAttribution(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetNode(3)
+	if tr.Node() != 3 {
+		t.Fatalf("Node() = %d, want 3", tr.Node())
+	}
+	sp := tr.Begin(0x02, false, 0, 4096, 1)
+	if sp.Node != 3 {
+		t.Fatalf("span opened with Node %d, want 3", sp.Node)
+	}
+	tr.End(sp, 0, 10)
+	if got := tr.Spans(); len(got) != 1 || got[0].Node != 3 {
+		t.Fatalf("retained span lost node attribution: %+v", got)
+	}
+
+	var nilTr *Tracer
+	nilTr.SetNode(7)
+	if nilTr.Node() != 0 {
+		t.Fatalf("nil tracer Node() = %d, want 0", nilTr.Node())
+	}
+}

@@ -3,6 +3,7 @@ package streamer_test
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"testing"
 
 	"snacc/internal/fault"
@@ -251,6 +252,64 @@ func TestStripedDegradedOperation(t *testing.T) {
 	}
 	if s.Member(1).Streamer().ControllerResets() != 0 {
 		t.Errorf("member 1 resets = %d with MaxResets = 0", s.Member(1).Streamer().ControllerResets())
+	}
+}
+
+// TestStripedMemberDiesDuringRead is the race-window regression: a member
+// that is alive when ReadErr maps the range (mapRange) but dies before its
+// stripes finish must fail those stripes with an error attributed to the
+// member — never report success over stale or zero payload. The window is
+// forced with a hang that fires on the member's first read command, so the
+// member passes every liveness check at submission time and dies only
+// after the read is committed to it.
+func TestStripedMemberDiesDuringRead(t *testing.T) {
+	k, s, devs := stripedRig(t, 3, true, func(cfg *streamer.Config) {
+		crashRecovery(cfg)
+		cfg.MaxResets = 0 // first breaker trip is terminal
+	})
+	// Member 1 freezes as its first read command completes and stays frozen
+	// past the breaker ladder (2 x 20 ms command timeouts), so it dies
+	// mid-read; writes are unaffected.
+	inj := fault.NewInjector(3)
+	inj.Add(fault.Rule{Name: "hang-m1", Kind: fault.HangCtrl, Opcode: nvme.OpRead,
+		Nth: 1, Count: 1, Delay: 200 * sim.Millisecond})
+	inj.Attach(devs[1])
+
+	const span = 6 * sim.MiB // stripes 0..5; member 1 owns 1 and 4
+	want := make([]byte, span)
+	for i := range want {
+		want[i] = byte(i*3 + 1)
+	}
+	done := false
+	k.Spawn("app", func(p *sim.Proc) {
+		if err := s.WriteErr(p, 0, span, want); err != nil {
+			t.Errorf("healthy write failed: %v", err)
+		}
+		got, err := s.ReadErr(p, 0, span)
+		if err == nil {
+			t.Error("read across a mid-read-dying member reported no error")
+		} else if !strings.Contains(err.Error(), "striped member 1") {
+			t.Errorf("degraded read error not attributed to the dead member: %v", err)
+		}
+		// Survivors' stripes stream back byte-exact even while member 1
+		// times out alongside them.
+		for _, stripe := range []int64{0, 2, 3, 5} {
+			lo, hi := stripe*sim.MiB, (stripe+1)*sim.MiB
+			if !bytes.Equal(got[lo:hi], want[lo:hi]) {
+				t.Errorf("surviving stripe %d corrupted in degraded read", stripe)
+			}
+		}
+		done = true
+	})
+	k.Run(0)
+	if !done {
+		t.Fatal("app never finished against the dying member")
+	}
+	if dead := s.DeadMembers(); len(dead) != 1 || dead[0] != 1 {
+		t.Fatalf("dead members = %v, want [1]", dead)
+	}
+	if s.DegradedReads() == 0 {
+		t.Error("mid-read death not counted as a degraded read")
 	}
 }
 

@@ -407,6 +407,100 @@ func TestTenantIsolationProperty(t *testing.T) {
 	}
 }
 
+// TestTenantIsolationDegradedStripe extends the isolation property to a
+// striped backend that loses a member mid-run: random per-tenant workloads
+// keep running while striped member 1 is surprise-removed. Invariants:
+// (a) no tenant ever observes another tenant's bytes, even on reads that
+// race the member's death, (b) per-tenant byte sums stay consistent with
+// the hub's accounting — BytesWritten equals the bytes of every accepted
+// write, and BytesRead is bracketed by successful and attempted read
+// bytes — and (c) the death is visible as degraded striping, not silence.
+func TestTenantIsolationDegradedStripe(t *testing.T) {
+	const window = 4 * sim.MiB
+	k, sp, devs := stripedRig(t, 3, true, func(cfg *streamer.Config) {
+		crashRecovery(cfg)
+		cfg.MaxResets = 0 // removal is permanent: die on the first trip
+	})
+	hub, err := streamer.NewStripedTenantHub(k, sp, threeTenants(window),
+		streamer.HubOptions{QuantumBytes: 64 * sim.KiB})
+	if err != nil {
+		t.Fatalf("NewStripedTenantHub: %v", err)
+	}
+	inj := fault.NewInjector(7)
+	inj.Add(fault.Rule{Name: "remove-m1", Kind: fault.RemoveCtrl, Opcode: fault.OpAny,
+		Nth: 30, Count: 1})
+	inj.Attach(devs[1])
+
+	tags := []byte{0xA1, 0xB2, 0xC3}
+	finished := 0
+	wroteBytes := make([]int64, hub.Tenants())   // every accepted write
+	readOKBytes := make([]int64, hub.Tenants())  // reads that returned clean
+	readTryBytes := make([]int64, hub.Tenants()) // every attempted read
+	var tenantErrs int64
+	for i := 0; i < hub.Tenants(); i++ {
+		i := i
+		c := hub.Client(i)
+		tag := tags[i]
+		rng := sim.NewRand(uint64(200 + i))
+		k.Spawn("pe", func(p *sim.Proc) {
+			const ops = 50
+			for op := 0; op < ops; op++ {
+				n := int64(1+rng.Intn(16)) * 4096
+				addr := uint64(rng.Intn(int((window-n)/4096))) * 4096
+				if rng.Intn(2) == 0 {
+					wroteBytes[i] += n
+					if err := c.WriteErr(p, addr, n, bytes.Repeat([]byte{tag}, int(n))); err != nil {
+						tenantErrs++
+					}
+				} else {
+					readTryBytes[i] += n
+					data, err := c.ReadErr(p, addr, n)
+					if err != nil {
+						tenantErrs++
+						continue // degraded reads deliver no trusted payload
+					}
+					readOKBytes[i] += n
+					for _, b := range data {
+						if b != 0 && b != tag {
+							t.Errorf("tenant %d read foreign byte %#x under degraded striping", i, b)
+							return
+						}
+					}
+				}
+			}
+			finished++
+		})
+	}
+	k.Run(0)
+	if finished != hub.Tenants() {
+		t.Fatalf("only %d/%d tenants finished", finished, hub.Tenants())
+	}
+	// (c) The member death must be observable, not silent.
+	if dead := sp.DeadMembers(); len(dead) != 1 || dead[0] != 1 {
+		t.Fatalf("dead striped members = %v, want [1]", dead)
+	}
+	if sp.DegradedReads()+sp.DegradedWrites() == 0 {
+		t.Error("member death never surfaced as a degraded striped operation")
+	}
+	if tenantErrs == 0 {
+		t.Error("no tenant ever observed an error from the dead member")
+	}
+	// (b) Per-tenant byte sums.
+	for i, s := range hub.Stats() {
+		if s.Rejected != 0 {
+			t.Errorf("tenant %d: %d rejections for in-window traffic", i, s.Rejected)
+		}
+		if s.BytesWritten != wroteBytes[i] {
+			t.Errorf("tenant %d BytesWritten = %d, want %d (every accepted write)",
+				i, s.BytesWritten, wroteBytes[i])
+		}
+		if s.BytesRead < readOKBytes[i] || s.BytesRead > readTryBytes[i] {
+			t.Errorf("tenant %d BytesRead = %d outside [%d successful, %d attempted]",
+				i, s.BytesRead, readOKBytes[i], readTryBytes[i])
+		}
+	}
+}
+
 // TestTenantAccessorAliasing is the satellite aliasing audit: every exported
 // slice-returning accessor must return a copy — mutating the returned value
 // must not change what the next call returns.

@@ -22,6 +22,7 @@ package snacc
 import (
 	"fmt"
 
+	"snacc/internal/cluster"
 	"snacc/internal/fault"
 	"snacc/internal/fpga"
 	"snacc/internal/nvme"
@@ -114,6 +115,63 @@ type Options struct {
 	// TenantWrite; the raw Handle.Read / Write entry points panic, since
 	// they would bypass the isolation windows.
 	Tenants []TenantConfig
+	// Cluster, when non-nil, scales the system out: Nodes full
+	// streamer+SSD stacks behind the simulated Ethernet switch, a
+	// consistent-hash ring sharding the logical byte space with
+	// replication factor Replication, quorum writes, read failover, and
+	// background re-replication. Handle.Read / Write then address the
+	// cluster's replicated logical space; Options.Faults and
+	// Options.Tenants are incompatible with cluster mode (use
+	// ClusterOptions.NodeFaults for per-node injection).
+	Cluster *ClusterOptions
+}
+
+// ClusterOptions configures Options.Cluster: a replicated multi-node
+// cluster over the simulated network.
+type ClusterOptions struct {
+	// Nodes is the node count (>= 2); Replication the copies per chunk
+	// (1 <= R <= Nodes); Quorum the replica acks a write needs before
+	// acknowledging the caller (1 <= Q <= R).
+	Nodes       int
+	Replication int
+	Quorum      int
+	// ChunkBytes is the placement/repair granule, a positive multiple of
+	// 4 KiB up to 4 MiB (default 256 KiB).
+	ChunkBytes int64
+	// RequestTimeoutNs bounds one coordinator->node capsule exchange
+	// (default 10 ms); DeadAfter consecutive failures declare a node dead
+	// (default 2); ProbeIntervalNs/ProbeLimit bound the rejoin prober
+	// (defaults 2 ms, 25).
+	RequestTimeoutNs int64
+	DeadAfter        int
+	ProbeIntervalNs  int64
+	ProbeLimit       int
+	// NodeFaults attaches a per-node NVMe fault injector (keyed by node
+	// index); a node's entry also arms its Streamer recovery ladder with
+	// the same knobs as Options.Faults.
+	NodeFaults map[int]*FaultOptions
+	// Partitions lists link-level fault windows against nodes.
+	Partitions []LinkPartition
+}
+
+// LinkPartition drops or delays frames to/from one node for a window of
+// simulated time — a network fault, as opposed to the NVMe-level faults of
+// FaultOptions.
+type LinkPartition struct {
+	// Node is the partitioned node.
+	Node int
+	// FromNs/UntilNs bound the window ([From, Until); UntilNs 0 = forever).
+	FromNs, UntilNs int64
+	// Drop discards matched frames; otherwise they arrive DelayNs late.
+	Drop    bool
+	DelayNs int64
+	// Probability/Nth/Count select frames inside the window (all zero =
+	// every frame).
+	Probability float64
+	Nth, Count  int64
+	// ToNode affects frames the node receives, FromNode frames it sends;
+	// neither set means both directions.
+	ToNode, FromNode bool
 }
 
 // TraceOptions configures the observability layer.
@@ -213,6 +271,7 @@ type System struct {
 	boundary *pcie.Tracer        // nil unless Options.Trace.Boundary was set
 	hub      *streamer.TenantHub // nil unless Options.Tenants was set
 	tclients []*streamer.TenantClient
+	cluster  *cluster.Cluster // nil unless Options.Cluster was set
 }
 
 // systemBARWindow is where enumeration places discovered device BARs.
@@ -237,6 +296,9 @@ func NewSystem(opts Options) (*System, error) {
 	}
 	if opts.KernelWorkers < 0 {
 		return nil, fmt.Errorf("snacc: KernelWorkers must be non-negative, got %d", opts.KernelWorkers)
+	}
+	if opts.Cluster != nil {
+		return newClusterSystem(opts, functional)
 	}
 	var shard *sim.Shard
 	k := sim.NewKernel()
@@ -438,6 +500,75 @@ func buildInjector(f *FaultOptions) *fault.Injector {
 	return in
 }
 
+// newClusterSystem assembles a replicated multi-node system behind the
+// simulated Ethernet switch (Options.Cluster).
+func newClusterSystem(opts Options, functional bool) (*System, error) {
+	if len(opts.Tenants) > 0 {
+		return nil, fmt.Errorf("snacc: Options.Tenants is incompatible with Options.Cluster")
+	}
+	if opts.Faults != nil {
+		return nil, fmt.Errorf("snacc: Options.Faults is incompatible with Options.Cluster (use ClusterOptions.NodeFaults)")
+	}
+	if opts.Trace != nil && opts.Trace.Boundary {
+		return nil, fmt.Errorf("snacc: Trace.Boundary is not supported in cluster mode")
+	}
+	co := opts.Cluster
+	for nd, f := range co.NodeFaults {
+		if f != nil && f.CrashEveryNCmds == 1 {
+			return nil, fmt.Errorf("snacc: node %d: CrashEveryNCmds must be >= 2", nd)
+		}
+	}
+	ccfg := cluster.DefaultConfig(co.Nodes, co.Replication, co.Quorum)
+	ccfg.ChunkBytes = co.ChunkBytes
+	ccfg.KernelWorkers = opts.KernelWorkers
+	ccfg.Functional = functional
+	ccfg.Seed = opts.Seed
+	ccfg.Variant = opts.Variant
+	ccfg.QueueDepth = opts.QueueDepth
+	ccfg.RequestTimeout = sim.Time(co.RequestTimeoutNs)
+	ccfg.DeadAfter = co.DeadAfter
+	ccfg.ProbeInterval = sim.Time(co.ProbeIntervalNs)
+	ccfg.ProbeLimit = co.ProbeLimit
+	if opts.Trace != nil {
+		ccfg.TraceSpans = true
+		ccfg.SpanLimit = opts.Trace.SpanLimit
+	}
+	if len(co.NodeFaults) > 0 {
+		faults := co.NodeFaults
+		ccfg.NodeInjector = func(node int) *fault.Injector {
+			f := faults[node]
+			if f == nil {
+				return nil
+			}
+			return buildInjector(f)
+		}
+		ccfg.StreamerTune = func(node int, cfg *streamer.Config) {
+			if f := faults[node]; f != nil {
+				applyFaultRecovery(cfg, f)
+			}
+		}
+	}
+	for _, pt := range co.Partitions {
+		ccfg.Partitions = append(ccfg.Partitions, cluster.Partition{
+			Node:        pt.Node,
+			From:        sim.Time(pt.FromNs),
+			Until:       sim.Time(pt.UntilNs),
+			Drop:        pt.Drop,
+			Delay:       sim.Time(pt.DelayNs),
+			Probability: pt.Probability,
+			Nth:         pt.Nth,
+			Count:       pt.Count,
+			ToNode:      pt.ToNode,
+			FromNode:    pt.FromNode,
+		})
+	}
+	cl, err := cluster.New(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{cluster: cl}, nil
+}
+
 // MustNewSystem is NewSystem, panicking on error (examples, tests).
 func MustNewSystem(opts Options) *System {
 	s, err := NewSystem(opts)
@@ -458,6 +589,12 @@ type Handle struct {
 // until it (and everything it triggered) completes, under whichever
 // scheduler Options.KernelWorkers selected.
 func (s *System) Execute(fn func(h *Handle)) {
+	if s.cluster != nil {
+		s.cluster.Execute(func(p *sim.Proc) {
+			fn(&Handle{p: p, sys: s})
+		})
+		return
+	}
 	s.kernel.Spawn("app", func(p *sim.Proc) {
 		fn(&Handle{p: p, sys: s})
 	})
@@ -471,6 +608,9 @@ func (s *System) Execute(fn func(h *Handle)) {
 // KernelWorkers returns the sharded scheduler's worker budget, or 1 when
 // the system runs on the plain serial kernel.
 func (s *System) KernelWorkers() int {
+	if s.cluster != nil {
+		return s.cluster.KernelWorkers()
+	}
 	if s.shard == nil {
 		return 1
 	}
@@ -502,23 +642,52 @@ func (h *Handle) tenant(i int) *streamer.TenantClient {
 }
 
 // Write stores data at the given device byte address (512-aligned, length
-// a multiple of 512) and waits for the Streamer's response token.
+// a multiple of 512) and waits for the Streamer's response token. In
+// cluster mode the address is a cluster-logical byte address and the write
+// replicates to R nodes, acknowledging at the configured quorum.
 func (h *Handle) Write(addr uint64, data []byte) {
+	if c := h.sys.cluster; c != nil {
+		if err := c.Write(h.p, addr, data); err != nil {
+			panic(fmt.Sprintf("snacc: cluster write %d@%#x: %v", len(data), addr, err))
+		}
+		return
+	}
 	h.client().Write(h.p, addr, int64(len(data)), data)
 }
 
 // WriteTimed performs a timing-only write of n bytes.
 func (h *Handle) WriteTimed(addr uint64, n int64) {
+	if c := h.sys.cluster; c != nil {
+		if err := c.WriteTimed(h.p, addr, n); err != nil {
+			panic(fmt.Sprintf("snacc: cluster write %d@%#x: %v", n, addr, err))
+		}
+		return
+	}
 	h.client().Write(h.p, addr, n, nil)
 }
 
-// Read returns n bytes from the given device byte address.
+// Read returns n bytes from the given device byte address. In cluster mode
+// the read is served by the chunk's primary replica, failing over to the
+// others on error or timeout.
 func (h *Handle) Read(addr uint64, n int64) []byte {
+	if c := h.sys.cluster; c != nil {
+		data, err := c.Read(h.p, addr, n)
+		if err != nil {
+			panic(fmt.Sprintf("snacc: cluster read %d@%#x: %v", n, addr, err))
+		}
+		return data
+	}
 	return h.client().Read(h.p, addr, n)
 }
 
 // ReadTimed performs a timing-only read of n bytes.
 func (h *Handle) ReadTimed(addr uint64, n int64) {
+	if c := h.sys.cluster; c != nil {
+		if _, err := c.Read(h.p, addr, n); err != nil {
+			panic(fmt.Sprintf("snacc: cluster read %d@%#x: %v", n, addr, err))
+		}
+		return
+	}
 	c := h.client()
 	c.ReadAsync(h.p, addr, n)
 	c.ConsumeRead(h.p)
@@ -528,12 +697,19 @@ func (h *Handle) ReadTimed(addr uint64, n int64) {
 // exhausted its retries) instead of panicking on the short delivery. The
 // returned data covers only the pieces that succeeded.
 func (h *Handle) ReadErr(addr uint64, n int64) ([]byte, error) {
+	if c := h.sys.cluster; c != nil {
+		return c.Read(h.p, addr, n)
+	}
 	return h.client().ReadErr(h.p, addr, n)
 }
 
 // WriteErr is Write surfacing the worst terminal NVMe status across the
-// write's pieces via the response token's error flag.
+// write's pieces via the response token's error flag (in cluster mode, a
+// quorum failure).
 func (h *Handle) WriteErr(addr uint64, data []byte) error {
+	if c := h.sys.cluster; c != nil {
+		return c.Write(h.p, addr, data)
+	}
 	return h.client().WriteErr(h.p, addr, int64(len(data)), data)
 }
 
@@ -569,8 +745,15 @@ func (h *Handle) Spans() []Span { return h.sys.Spans() }
 func (s *System) Trace() *obs.Tracer { return s.tracer }
 
 // Spans returns the completed command spans traced so far, in completion
-// order (nil without Options.Trace).
-func (s *System) Spans() []Span { return s.tracer.Spans() }
+// order (nil without Options.Trace). In cluster mode the spans of every
+// node tracer are concatenated in node order, each stamped with its node
+// identity (Span.Node).
+func (s *System) Spans() []Span {
+	if s.cluster != nil {
+		return s.cluster.Spans()
+	}
+	return s.tracer.Spans()
+}
 
 // StageLatency returns the latency histogram of the transition into stage
 // st, or nil without Options.Trace.
@@ -637,10 +820,26 @@ type Stats struct {
 	// (nil without Options.Tenants). Completed tenant payload sums match the
 	// global BytesToPE / BytesFromPE counters.
 	Tenants []TenantStats
+	// Scale-out accounting (all zero without Options.Cluster): node death
+	// declarations and probed rejoins, read failovers, payload copied by
+	// background re-replication, cumulative nanoseconds any chunk held
+	// fewer live replicas than the cluster could sustain, the current
+	// under-replicated chunk count (0 once repair has caught up), and the
+	// nodes whose controllers are terminally dead.
+	NodeDeaths            int64
+	NodeRejoins           int64
+	Failovers             int64
+	ReReplicatedBytes     int64
+	DegradedWindowNs      int64
+	UnderReplicatedChunks int64
+	DeadNodes             []int
 }
 
 // Stats snapshots the system counters.
 func (s *System) Stats() Stats {
+	if s.cluster != nil {
+		return s.clusterStats()
+	}
 	return Stats{
 		CommandsSubmitted: s.st.CommandsSubmitted(),
 		CommandsRetired:   s.st.CommandsRetired(),
@@ -671,6 +870,43 @@ func (s *System) Stats() Stats {
 		SimEvents:         s.kernel.EventsExecuted(),
 		Tenants:           s.TenantStats(),
 	}
+}
+
+// clusterStats maps the cluster's counters onto the system snapshot,
+// summing the per-node Streamer counters into the shared fields.
+func (s *System) clusterStats() Stats {
+	cs := s.cluster.Stats()
+	out := Stats{
+		NodeDeaths:            cs.NodeDeaths,
+		NodeRejoins:           cs.Rejoins,
+		Failovers:             cs.Failovers,
+		ReReplicatedBytes:     cs.ReReplicatedBytes,
+		DegradedWindowNs:      cs.DegradedWindowNs,
+		UnderReplicatedChunks: cs.UnderReplicatedChunks,
+		DeadNodes:             cs.DeadNodes,
+		SimTime:               cs.SimTime,
+		SimEvents:             cs.SimEvents,
+	}
+	for i := 0; i < s.cluster.Nodes(); i++ {
+		st := s.cluster.Node(i)
+		out.CommandsSubmitted += st.CommandsSubmitted()
+		out.CommandsRetired += st.CommandsRetired()
+		out.CommandErrors += st.CommandErrors()
+		out.CommandRetries += st.CommandRetries()
+		out.CommandTimeouts += st.CommandTimeouts()
+		out.CommandAborts += st.CommandAborts()
+		out.ProtocolErrors += st.ProtocolErrors()
+		out.BreakerTrips += st.BreakerTrips()
+		out.ControllerResets += st.ControllerResets()
+		out.CommandsReplayed += st.CommandsReplayed()
+		out.RecoveryTimeNs += int64(st.RecoveryTime())
+		out.BytesToPE += st.BytesToPE()
+		out.BytesFromPE += st.BytesFromPE()
+		if st.Dead() {
+			out.ControllerDead = true
+		}
+	}
+	return out
 }
 
 // TenantStats snapshots the per-tenant counters, or nil when the system was
@@ -709,11 +945,21 @@ func (s *System) FaultsInjected() int64 {
 	return s.injector.Injected()
 }
 
-// Capacity returns the simulated SSD capacity in bytes.
-func (s *System) Capacity() int64 { return s.dev.Config().NamespaceBytes }
+// Capacity returns the simulated SSD capacity in bytes (in cluster mode,
+// the cluster's logical capacity — one node's namespace, since replicas
+// store chunks at their logical addresses).
+func (s *System) Capacity() int64 {
+	if s.cluster != nil {
+		return s.cluster.Capacity()
+	}
+	return s.dev.Config().NamespaceBytes
+}
 
 // Resources returns the Table 1 FPGA resource estimate for this system's
-// Streamer configuration.
+// Streamer configuration (in cluster mode, for one node's Streamer).
 func (s *System) Resources() fpga.Resources {
+	if s.cluster != nil {
+		return fpga.EstimateStreamer(s.cluster.Node(0).Config())
+	}
 	return fpga.EstimateStreamer(s.st.Config())
 }
