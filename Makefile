@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke cover latency faults crash queues perfreport kernel tenants cluster
+.PHONY: build test race vet bench bench-smoke cover latency faults crash queues perfreport kernel tenants cluster serve
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,7 @@ test: vet
 # and the fault-injection/recovery machinery (including the controller
 # crash-recovery ladder and its multi-queue/ring-wrap variants).
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/sim/... ./internal/bufpool/... ./internal/fault/... ./internal/obs/... ./internal/ethernet/...
+	$(GO) test -race ./internal/parallel/... ./internal/sim/... ./internal/bufpool/... ./internal/fault/... ./internal/obs/... ./internal/ethernet/... ./internal/serve/... ./internal/workload/...
 	$(GO) test -race -run 'Fault|Retry|Timeout|CQE|Crash|Breaker|Death|CFS|Degraded|Span|Wrap|MultiQueue|Tenant' ./internal/streamer/
 	$(GO) test -race -run 'KernelWorkers' ./internal/casestudy/ .
 	$(GO) test -race -run 'TestParallelDeterminism|TestKernelSweep' ./internal/bench/
@@ -37,6 +37,7 @@ cover:
 		$$2 == "snacc/internal/obs"      && pct + 0 < 88 { bad = bad "  " $$2 ": " pct "% < 88%\n" } \
 		$$2 == "snacc/internal/sim"      && pct + 0 < 90 { bad = bad "  " $$2 ": " pct "% < 90%\n" } \
 		$$2 == "snacc/internal/workload" && pct + 0 < 88 { bad = bad "  " $$2 ": " pct "% < 88%\n" } \
+		$$2 == "snacc/internal/serve"    && pct + 0 < 85 { bad = bad "  " $$2 ": " pct "% < 85%\n" } \
 		$$2 == "snacc/internal/bench"    && pct + 0 < 86 { bad = bad "  " $$2 ": " pct "% < 86%\n" } \
 		$$2 == "snacc/internal/streamer" && pct + 0 < 88 { bad = bad "  " $$2 ": " pct "% < 88%\n" } \
 		$$2 == "snacc/internal/cluster"  && pct + 0 < 85 { bad = bad "  " $$2 ": " pct "% < 85%\n" } \
@@ -87,6 +88,14 @@ queues:
 tenants:
 	$(GO) test -run 'Tenant' ./internal/streamer/ ./internal/bench/ .
 	$(GO) run ./cmd/snaccbench -tenants
+
+# Serving-tier suite: frame-codec/conn-table/backpressure unit tests (the
+# invariant test also runs under -race via the race target), the open-loop
+# workload generator, and the client-population sweep -> BENCH_serve.json
+serve:
+	$(GO) test ./internal/serve/ ./internal/workload/
+	$(GO) test -run 'TestServe' ./internal/bench/ .
+	$(GO) run ./cmd/snaccbench -serve
 
 # Replicated-cluster suite: failover/re-replication/rejoin unit tests, the
 # kill-a-node data-integrity property, and the nodes×R×quorum sweep plus

@@ -16,6 +16,8 @@
 //	snaccbench -queues 1,2,4,8    # multi-queue submission sweep, write BENCH_queues.json
 //	snaccbench -kernelworkers 1,2,4 # sharded-kernel worker sweep, write BENCH_kernel.json
 //	snaccbench -tenants           # multi-tenant QoS sweep, write BENCH_tenants.json
+//	snaccbench -serve             # open-loop serving sweep (10k/100k/1M clients), write BENCH_serve.json
+//	snaccbench -serve -clients 50000 -phases 1:200,8:25  # custom population and burst schedule
 //	snaccbench -cluster           # replicated-cluster sweep + availability timeline, write BENCH_cluster.json
 //	snaccbench -cluster -nodes 4 -replication 3 -quorum 2  # one custom cluster shape
 //	snaccbench -all               # everything
@@ -64,6 +66,9 @@ func main() {
 	queuesArg := flag.String("queues", "", "comma-separated I/O queue counts for the multi-queue submission sweep (each 1..8), write BENCH_queues.json")
 	kwArg := flag.String("kernelworkers", "", "comma-separated worker counts for the sharded-kernel sweep (results identical at any count), write BENCH_kernel.json")
 	tenants := flag.Bool("tenants", false, "run the multi-tenant QoS sweep (victim vs noisy neighbor, DRR vs FIFO), write BENCH_tenants.json")
+	serveRun := flag.Bool("serve", false, "run the open-loop serving sweep (RPC fleet over 100G, pause/shed backpressure), write BENCH_serve.json")
+	serveClients := flag.String("clients", "", "with -serve: comma-separated client populations (default 10000,100000,1000000)")
+	servePhases := flag.String("phases", "", "with -serve: burst schedule as scale:µs pairs, e.g. 1:200,6:50")
 	clusterRun := flag.Bool("cluster", false, "run the replicated-cluster sweep (node kill, failover, re-replication) and availability timeline, write BENCH_cluster.json")
 	clusterNodes := flag.Int("nodes", 0, "with -cluster: run a single nodes/replication/quorum shape instead of the default grid")
 	clusterRepl := flag.Int("replication", 0, "with -cluster -nodes: replica count per chunk")
@@ -125,6 +130,23 @@ func main() {
 			}
 			kwCounts = append(kwCounts, n)
 		}
+	}
+
+	// Serving-sweep shape: both flags are strictly validated up front so a
+	// typo is a usage error, not a silently defaulted run.
+	if (*serveClients != "" || *servePhases != "") && !*serveRun {
+		fail("-clients/-phases require -serve")
+	}
+	serveClientList := bench.DefaultServeClients
+	if *serveClients != "" {
+		var err error
+		if serveClientList, err = bench.ParseServeClients(*serveClients); err != nil {
+			fail("%v", err)
+		}
+	}
+	servePhaseList, err := bench.ParseServePhases(*servePhases)
+	if err != nil {
+		fail("%v", err)
 	}
 
 	// A custom cluster shape must be a valid replication arrangement:
@@ -295,6 +317,19 @@ func main() {
 					os.Exit(1)
 				}
 				fmt.Println("wrote BENCH_tenants.json")
+			}
+		})
+	}
+	if *all || *serveRun {
+		run("open-loop serving sweep", func() {
+			table := bench.RenderServeSweep(bench.ServeSweep(serveClientList, 0, servePhaseList))
+			show(table)
+			if *serveRun {
+				if err := os.WriteFile("BENCH_serve.json", []byte(table.JSON()+"\n"), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Println("wrote BENCH_serve.json")
 			}
 		})
 	}

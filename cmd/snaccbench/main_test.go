@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestServeFlagValidation re-runs the test binary as the CLI (the
+// SNACCBENCH_MAIN hook below) and checks that malformed -serve flags are
+// usage errors — exit 2 with a diagnostic — while a valid invocation
+// completes and writes BENCH_serve.json.
+func TestServeFlagValidation(t *testing.T) {
+	if os.Getenv("SNACCBENCH_MAIN") == "1" {
+		os.Args = append([]string{"snaccbench"},
+			strings.Fields(os.Getenv("SNACCBENCH_ARGS"))...)
+		main()
+		return
+	}
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+
+	cases := []struct {
+		name     string
+		args     string
+		wantExit int
+		wantErr  string
+	}{
+		{"clients without serve", "-clients 100", 2, "-clients/-phases require -serve"},
+		{"phases without serve", "-phases 1:200", 2, "-clients/-phases require -serve"},
+		{"non-integer clients", "-serve -clients 10,abc", 2, "not an integer"},
+		{"zero clients", "-serve -clients 0", 2, "must be positive"},
+		{"empty clients", "-serve -clients ,", 2, "not an integer"},
+		{"phases missing duration", "-serve -phases 1", 2, "scale:µs"},
+		{"phases zero scale", "-serve -phases 0:200", 2, "scale must be a positive number"},
+		{"phases bad duration", "-serve -phases 1:xyz", 2, "duration must be positive"},
+		{"valid run", "-serve -clients 1000,2000 -phases 1:100,4:25", 0, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			cmd := exec.Command(os.Args[0], "-test.run=TestServeFlagValidation")
+			cmd.Dir = dir
+			cmd.Env = append(os.Environ(),
+				"SNACCBENCH_MAIN=1", "SNACCBENCH_ARGS="+tc.args)
+			out, err := cmd.CombinedOutput()
+			exit := 0
+			if ee, ok := err.(*exec.ExitError); ok {
+				exit = ee.ExitCode()
+			} else if err != nil {
+				t.Fatalf("running %q: %v\n%s", tc.args, err, out)
+			}
+			if exit != tc.wantExit {
+				t.Fatalf("%q exited %d, want %d\n%s", tc.args, exit, tc.wantExit, out)
+			}
+			if tc.wantErr != "" && !strings.Contains(string(out), tc.wantErr) {
+				t.Fatalf("%q output %q does not mention %q", tc.args, out, tc.wantErr)
+			}
+			if tc.wantExit == 0 {
+				doc, err := os.ReadFile(filepath.Join(dir, "BENCH_serve.json"))
+				if err != nil {
+					t.Fatalf("valid -serve run left no BENCH_serve.json: %v", err)
+				}
+				if !strings.Contains(string(doc), "Serve sweep") {
+					t.Fatalf("BENCH_serve.json content: %q", doc)
+				}
+			}
+		})
+	}
+}

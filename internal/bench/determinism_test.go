@@ -26,6 +26,7 @@ func renderSample() string {
 	b.WriteString(RenderCrashSweep(CrashSweep([]int64{0, 6}, 16*sim.MiB)).String())
 	b.WriteString(RenderQueueSweep(QueueSweep([]int{1, 4}, []int{1, 8}, 8*sim.MiB)).String())
 	b.WriteString(RenderTenantSweep(TenantSweep(100, 600)).String())
+	b.WriteString(RenderServeSweep(ServeSweep([]int{10_000, 100_000}, 600, nil)).String())
 	b.WriteString(RenderLatencyBreakdown(LatencyBreakdown(8 * sim.MiB)).String())
 	return b.String()
 }
@@ -64,7 +65,8 @@ func TestKernelWorkersDeterminism(t *testing.T) {
 
 	sample := func() string {
 		return RenderFig6(Fig6(48)).String() +
-			RenderTenantSweep(TenantSweep(60, 360)).String()
+			RenderTenantSweep(TenantSweep(60, 360)).String() +
+			RenderServeSweep(ServeSweep([]int{10_000}, 400, nil)).String()
 	}
 	SetParallelism(1)
 	SetKernelWorkers(1)

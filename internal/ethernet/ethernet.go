@@ -203,6 +203,19 @@ func (m *MAC) Send(p *sim.Proc, f Frame) {
 	m.txq.Put(p, f)
 }
 
+// TrySend queues a frame for transmission without blocking, reporting false
+// when the TX queue is full. An open-loop load source uses this to shed load
+// at the bound instead of buffering arrivals without limit: when received
+// pause frames stall the transmitter, the TX queue fills, TrySend starts
+// failing, and the caller decides what to drop.
+func (m *MAC) TrySend(f Frame) bool {
+	return m.txq.TryPut(f)
+}
+
+// TxQueueLen reports the frames waiting in the TX queue (not yet begun
+// transmission).
+func (m *MAC) TxQueueLen() int { return m.txq.Len() }
+
 // Recv takes the next received frame, blocking p while none is pending.
 // Consuming a frame frees FIFO space and may trigger a resume.
 func (m *MAC) Recv(p *sim.Proc) Frame {

@@ -269,3 +269,41 @@ func TestFullDuplexLineRate(t *testing.T) {
 		}
 	}
 }
+
+// TestTrySendShedsAtTheBound pins the open-loop hook: TrySend accepts
+// frames until the TX queue's bound and then refuses instead of blocking,
+// so a load source that must not stall can shed at the cap and retry after
+// the transmitter drains.
+func TestTrySendShedsAtTheBound(t *testing.T) {
+	k, a, b := pair(DefaultConfig())
+	accepted := 0
+	for TrySendOK := a.TrySend(Frame{Bytes: 64}); TrySendOK; TrySendOK = a.TrySend(Frame{Bytes: 64}) {
+		accepted++
+		if accepted > 1<<20 {
+			t.Fatal("TrySend never refused")
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("TrySend refused an empty queue")
+	}
+	if got := a.TxQueueLen(); got != accepted {
+		t.Fatalf("TxQueueLen() = %d, want %d queued", got, accepted)
+	}
+	got := 0
+	k.Spawn("rx", func(p *sim.Proc) {
+		for got < accepted {
+			b.Recv(p)
+			got++
+		}
+	})
+	k.Run(0)
+	if got != accepted {
+		t.Fatalf("received %d of %d shed-tested frames", got, accepted)
+	}
+	if a.TxQueueLen() != 0 {
+		t.Fatalf("TxQueueLen() = %d after drain", a.TxQueueLen())
+	}
+	if !a.TrySend(Frame{Bytes: 64}) {
+		t.Fatal("TrySend refused after the queue drained")
+	}
+}

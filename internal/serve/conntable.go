@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"unsafe"
+)
+
+// connSlot is one open connection's state. The table is an array of these —
+// not a map of pointers — so the per-connection footprint is a fixed,
+// reportable 32 bytes and a million connections cost exactly 32 MiB of slot
+// memory plus the 4-byte client index. TestConnSlotSize pins the size.
+type connSlot struct {
+	client uint32
+	tenant uint16
+	flags  uint16
+	// inflight counts requests dispatched but not yet answered.
+	inflight uint32
+	// reqs counts requests accepted over the connection's lifetime.
+	reqs uint32
+	// lastID is the most recent request id, for duplicate diagnostics.
+	lastID uint64
+	// lastActive is the last Touch time in kernel ticks.
+	lastActive int64
+}
+
+// connSlotBytes is the asserted per-connection state footprint.
+const connSlotBytes = 32
+
+// ConnTable tracks open connections for up to a configured client
+// population. Slots live in one flat array recycled through a free-list
+// stack; a client-indexed int32 array maps client ids to slots (-1 =
+// closed). The slot array grows only to the peak concurrent occupancy, so a
+// million-client population that keeps 40k connections open at once pays
+// for 40k slots, and StateBytes reports the real footprint either way.
+type ConnTable struct {
+	slots    []connSlot
+	byClient []int32
+	free     []int32
+	open     int
+	peak     int
+	opens    uint64
+	closes   uint64
+}
+
+// NewConnTable builds a table for client ids in [0, clients).
+func NewConnTable(clients int) (*ConnTable, error) {
+	if clients < 1 || clients > math.MaxInt32 {
+		return nil, fmt.Errorf("serve: connection table needs 1..%d clients, got %d", math.MaxInt32, clients)
+	}
+	t := &ConnTable{byClient: make([]int32, clients)}
+	for i := range t.byClient {
+		t.byClient[i] = -1
+	}
+	return t, nil
+}
+
+// Capacity is the client population the table can address.
+func (t *ConnTable) Capacity() int { return len(t.byClient) }
+
+// Touch records a request on the client's connection, opening it first if
+// closed, and reports false when the client id is out of range.
+func (t *ConnTable) Touch(client uint32, tenant uint16, id uint64, now int64) bool {
+	if int(client) >= len(t.byClient) {
+		return false
+	}
+	idx := t.byClient[client]
+	if idx < 0 {
+		if n := len(t.free); n > 0 {
+			idx = t.free[n-1]
+			t.free = t.free[:n-1]
+		} else {
+			idx = int32(len(t.slots))
+			t.slots = append(t.slots, connSlot{})
+		}
+		t.slots[idx] = connSlot{client: client}
+		t.byClient[client] = idx
+		t.open++
+		t.opens++
+		if t.open > t.peak {
+			t.peak = t.open
+		}
+	}
+	s := &t.slots[idx]
+	s.tenant = tenant
+	s.inflight++
+	s.reqs++
+	s.lastID = id
+	s.lastActive = now
+	return true
+}
+
+// Done retires one in-flight request on the client's connection.
+func (t *ConnTable) Done(client uint32) {
+	if int(client) >= len(t.byClient) {
+		return
+	}
+	if idx := t.byClient[client]; idx >= 0 && t.slots[idx].inflight > 0 {
+		t.slots[idx].inflight--
+	}
+}
+
+// Close releases the client's connection back to the free list, reporting
+// whether it was open.
+func (t *ConnTable) Close(client uint32) bool {
+	if int(client) >= len(t.byClient) {
+		return false
+	}
+	idx := t.byClient[client]
+	if idx < 0 {
+		return false
+	}
+	t.byClient[client] = -1
+	t.free = append(t.free, idx)
+	t.open--
+	t.closes++
+	return true
+}
+
+// Occupancy is the number of currently open connections.
+func (t *ConnTable) Occupancy() int { return t.open }
+
+// Peak is the highest concurrent occupancy seen.
+func (t *ConnTable) Peak() int { return t.peak }
+
+// Opens and Closes count lifetime connection transitions.
+func (t *ConnTable) Opens() uint64 { return t.opens }
+
+// Closes counts lifetime connection closes.
+func (t *ConnTable) Closes() uint64 { return t.closes }
+
+// StateBytes is the table's connection-state footprint: slot storage plus
+// the client index and free stack.
+func (t *ConnTable) StateBytes() int64 {
+	return int64(cap(t.slots))*int64(unsafe.Sizeof(connSlot{})) +
+		int64(cap(t.byClient))*4 + int64(cap(t.free))*4
+}

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestConnSlotSize pins the reportable per-connection footprint: the whole
+// point of the array-backed table is that a million connections cost an
+// auditable 32 bytes each.
+func TestConnSlotSize(t *testing.T) {
+	if got := unsafe.Sizeof(connSlot{}); got != connSlotBytes {
+		t.Fatalf("connSlot is %d bytes, want %d", got, connSlotBytes)
+	}
+}
+
+func TestConnTableLifecycle(t *testing.T) {
+	tab, err := NewConnTable(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Capacity() != 8 {
+		t.Fatalf("capacity %d, want 8", tab.Capacity())
+	}
+	// Opening three clients allocates three slots.
+	for _, c := range []uint32{0, 3, 7} {
+		if !tab.Touch(c, 0, uint64(c), 100) {
+			t.Fatalf("Touch(%d) rejected", c)
+		}
+	}
+	if tab.Occupancy() != 3 || tab.Peak() != 3 || tab.Opens() != 3 {
+		t.Fatalf("occupancy=%d peak=%d opens=%d, want 3/3/3", tab.Occupancy(), tab.Peak(), tab.Opens())
+	}
+	// Re-touching an open client does not reopen it.
+	tab.Touch(3, 1, 99, 200)
+	if tab.Opens() != 3 || tab.Occupancy() != 3 {
+		t.Fatalf("re-touch changed opens=%d occupancy=%d", tab.Opens(), tab.Occupancy())
+	}
+	// Close releases the slot; a later open reuses it off the free list.
+	if !tab.Close(3) {
+		t.Fatal("Close(3) reported not open")
+	}
+	if tab.Close(3) {
+		t.Fatal("double Close(3) reported open")
+	}
+	if tab.Occupancy() != 2 || tab.Closes() != 1 {
+		t.Fatalf("after close: occupancy=%d closes=%d", tab.Occupancy(), tab.Closes())
+	}
+	slotsBefore := len(tab.slots)
+	tab.Touch(5, 0, 1, 300)
+	if len(tab.slots) != slotsBefore {
+		t.Fatalf("free-list reopen grew the slot array %d -> %d", slotsBefore, len(tab.slots))
+	}
+	if tab.Peak() != 3 {
+		t.Fatalf("peak %d, want 3", tab.Peak())
+	}
+}
+
+func TestConnTableInflight(t *testing.T) {
+	tab, err := NewConnTable(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Touch(2, 0, 1, 0)
+	tab.Touch(2, 0, 2, 0)
+	if got := tab.slots[tab.byClient[2]].inflight; got != 2 {
+		t.Fatalf("inflight %d, want 2", got)
+	}
+	tab.Done(2)
+	if got := tab.slots[tab.byClient[2]].inflight; got != 1 {
+		t.Fatalf("inflight after Done %d, want 1", got)
+	}
+	// Done after close (the FIN-while-inflight case) is a no-op.
+	tab.Close(2)
+	tab.Done(2)
+	// Out-of-range ids are rejected or ignored, never a panic.
+	if tab.Touch(99, 0, 1, 0) {
+		t.Fatal("Touch out of range accepted")
+	}
+	tab.Done(99)
+	if tab.Close(99) {
+		t.Fatal("Close out of range reported open")
+	}
+}
+
+func TestConnTableStateBytes(t *testing.T) {
+	tab, err := NewConnTable(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := tab.StateBytes()
+	if base < 4000 {
+		t.Fatalf("state bytes %d below the client index alone", base)
+	}
+	for c := uint32(0); c < 100; c++ {
+		tab.Touch(c, 0, 1, 0)
+	}
+	grown := tab.StateBytes()
+	if grown < base+100*connSlotBytes {
+		t.Fatalf("state bytes %d after 100 opens, want >= %d", grown, base+100*connSlotBytes)
+	}
+}
+
+func TestNewConnTableRejects(t *testing.T) {
+	if _, err := NewConnTable(0); err == nil {
+		t.Fatal("NewConnTable(0) accepted")
+	}
+	if _, err := NewConnTable(-5); err == nil {
+		t.Fatal("NewConnTable(-5) accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzSeeds builds the seed corpus: valid capsules of both kinds plus the
+// canonical malformed shapes — truncated, oversized, bad-magic, and
+// length-overflow capsules.
+func fuzzSeeds() [][]byte {
+	validRead := AppendRequest(nil, Request{ID: 1, Conn: 9, Op: OpRead, Addr: 4096, N: 4096})
+	validWrite := AppendRequest(nil, Request{ID: 2, Conn: 3, Tenant: 1, Op: OpWrite, Addr: 0, N: 512, Flags: FlagFin})
+	inline := AppendRequest(nil, Request{ID: 3, Conn: 1, Op: OpWrite, Addr: 512, N: 512, Payload: make([]byte, 512)})
+	validResp := AppendResponse(nil, Response{ID: 1, Conn: 9, N: 4096, Read: true})
+	failResp := AppendResponse(nil, Response{ID: 2, Conn: 3, Status: 1})
+
+	badMagic := append([]byte(nil), validRead...)
+	badMagic[0] = 0x00
+	badVersion := append([]byte(nil), validRead...)
+	badVersion[2] = 0xfe
+	badOp := append([]byte(nil), validRead...)
+	badOp[3] = 0x33
+
+	// Length overflow: the prefix claims far more than the buffer holds,
+	// and more than the oversize cap allows.
+	overflow := append([]byte(nil), validRead...)
+	binary.LittleEndian.PutUint32(overflow[4:], 0xffff_fff0)
+	// Oversized: a length just past header+MaxTransferBytes.
+	oversized := append([]byte(nil), validRead...)
+	binary.LittleEndian.PutUint32(oversized[4:], RequestHeaderBytes+MaxTransferBytes+1)
+	// Undersized: a length below the header.
+	undersized := append([]byte(nil), validRead...)
+	binary.LittleEndian.PutUint32(undersized[4:], 4)
+	// Transfer shape violations.
+	zeroN := append([]byte(nil), validRead...)
+	binary.LittleEndian.PutUint64(zeroN[32:], 0)
+	hugeN := append([]byte(nil), validRead...)
+	binary.LittleEndian.PutUint64(hugeN[32:], 1<<63)
+
+	return [][]byte{
+		nil,
+		{0x52},
+		validRead[:7],                    // truncated prologue
+		validRead[:RequestHeaderBytes-1], // truncated header
+		inline[:len(inline)-100],         // truncated payload
+		validRead,
+		validWrite,
+		inline,
+		validResp,
+		failResp,
+		append(append([]byte(nil), validRead...), validWrite...), // stream of two
+		badMagic,
+		badVersion,
+		badOp,
+		overflow,
+		oversized,
+		undersized,
+		zeroN,
+		hugeN,
+		bytes.Repeat([]byte{0x52, 0x53}, 40), // magic-looking garbage
+	}
+}
+
+// FuzzParseFrame throws arbitrary bytes at both capsule decoders. Three
+// properties: neither decoder panics, neither consumes bytes it did not
+// validate (consumed == 0 on error, consumed <= len(input) on success), and
+// any capsule a decoder accepts survives a re-encode byte-for-byte — the
+// codec is the wire contract between the client fleet and the server, so
+// "what you decoded is what was sent" has to hold exactly.
+func FuzzParseFrame(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input []byte) {
+		if req, n, err := ParseRequest(input); err == nil {
+			if n < RequestHeaderBytes || n > len(input) {
+				t.Fatalf("request consumed %d of %d bytes", n, len(input))
+			}
+			enc := AppendRequest(nil, req)
+			if !bytes.Equal(enc, input[:n]) {
+				t.Fatalf("request re-encode diverged:\nin:  %x\nout: %x", input[:n], enc)
+			}
+		} else if n != 0 {
+			t.Fatalf("request error %v consumed %d bytes", err, n)
+		}
+		if resp, n, err := ParseResponse(input); err == nil {
+			if n < ResponseHeaderBytes || n > len(input) {
+				t.Fatalf("response consumed %d of %d bytes", n, len(input))
+			}
+			enc := AppendResponse(nil, resp)
+			if !bytes.Equal(enc, input[:n]) {
+				t.Fatalf("response re-encode diverged:\nin:  %x\nout: %x", input[:n], enc)
+			}
+		} else if n != 0 {
+			t.Fatalf("response error %v consumed %d bytes", err, n)
+		}
+	})
+}

@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []Request{
+		{ID: 1, Conn: 7, Tenant: 0, Op: OpRead, Addr: 4096, N: 4096},
+		{ID: 1<<64 - 1, Conn: 999_999, Tenant: 3, Op: OpWrite, Addr: 512, N: 512, Flags: FlagFin},
+		{ID: 42, Conn: 0, Op: OpWrite, Addr: 0, N: 1024, Payload: bytes.Repeat([]byte{0xab}, 1024)},
+	}
+	for _, want := range cases {
+		b := AppendRequest(nil, want)
+		got, n, err := ParseRequest(b)
+		if err != nil {
+			t.Fatalf("ParseRequest(%+v): %v", want, err)
+		}
+		if n != len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		if got.ID != want.ID || got.Conn != want.Conn || got.Tenant != want.Tenant ||
+			got.Op != want.Op || got.Addr != want.Addr || got.N != want.N || got.Flags != want.Flags {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+		if !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("payload mismatch: %d vs %d bytes", len(got.Payload), len(want.Payload))
+		}
+		if want.Fin() != (want.Flags&FlagFin != 0) {
+			t.Fatalf("Fin() disagrees with flags")
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []Response{
+		{ID: 9, Conn: 3, Tenant: 1, Status: 0, N: 4096, Read: true},
+		{ID: 10, Conn: 4, Status: 1, N: 0},
+		{ID: 11, Conn: 5, Status: 0x7fff, N: 512, Read: false},
+		{ID: 12, Conn: 6, N: 512, Read: true, Payload: bytes.Repeat([]byte{1}, 512)},
+	}
+	for _, want := range cases {
+		b := AppendResponse(nil, want)
+		got, n, err := ParseResponse(b)
+		if err != nil {
+			t.Fatalf("ParseResponse(%+v): %v", want, err)
+		}
+		if n != len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		if got.ID != want.ID || got.Conn != want.Conn || got.Tenant != want.Tenant ||
+			got.Status != want.Status || got.N != want.N || got.Read != want.Read {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+		if !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("payload mismatch")
+		}
+	}
+}
+
+func TestRequestStreamDecode(t *testing.T) {
+	var b []byte
+	want := []Request{
+		{ID: 1, Conn: 1, Op: OpRead, Addr: 0, N: 512},
+		{ID: 2, Conn: 2, Op: OpWrite, Addr: 512, N: 4096},
+		{ID: 3, Conn: 3, Op: OpRead, Addr: 1024, N: 512, Flags: FlagFin},
+	}
+	for _, r := range want {
+		b = AppendRequest(b, r)
+	}
+	var got []Request
+	for len(b) > 0 {
+		r, n, err := ParseRequest(b)
+		if err != nil {
+			t.Fatalf("stream decode: %v", err)
+		}
+		got = append(got, r)
+		b = b[n:]
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d of %d capsules", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("capsule %d: id %d want %d", i, got[i].ID, want[i].ID)
+		}
+	}
+}
+
+// corruptRequest returns a valid encoded request with one mutation applied.
+func corruptRequest(mut func(b []byte)) []byte {
+	b := AppendRequest(nil, Request{ID: 5, Conn: 1, Op: OpRead, Addr: 512, N: 512})
+	mut(b)
+	return b
+}
+
+func TestParseRequestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short prologue", []byte{0x52, 0x53, 1}, ErrTruncated},
+		{"truncated body", corruptRequest(func(b []byte) {})[:RequestHeaderBytes-4], ErrTruncated},
+		{"bad magic", corruptRequest(func(b []byte) { b[0] = 0xff }), ErrMagic},
+		{"bad version", corruptRequest(func(b []byte) { b[2] = 9 }), ErrVersion},
+		{"bad op", corruptRequest(func(b []byte) { b[3] = 77 }), ErrOp},
+		{"response op in request stream", corruptRequest(func(b []byte) { b[3] = byte(opResponse) }), ErrOp},
+		{"length below header", corruptRequest(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[4:], RequestHeaderBytes-1)
+		}), ErrLength},
+		{"length overflow", corruptRequest(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[4:], 0xffff_ffff)
+		}), ErrLength},
+		{"oversized", corruptRequest(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[4:], RequestHeaderBytes+MaxTransferBytes+1)
+		}), ErrLength},
+		{"zero transfer", corruptRequest(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[32:], 0)
+		}), ErrTransfer},
+		{"unaligned transfer", corruptRequest(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[32:], 513)
+		}), ErrTransfer},
+		{"unaligned addr", corruptRequest(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[24:], 7)
+		}), ErrTransfer},
+		{"giant transfer", corruptRequest(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[32:], MaxTransferBytes+512)
+		}), ErrTransfer},
+		{"payload mismatch", append(corruptRequest(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[4:], RequestHeaderBytes+8)
+		}), make([]byte, 8)...), ErrLength},
+	}
+	for _, tc := range cases {
+		_, n, err := ParseRequest(tc.in)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+		if n != 0 {
+			t.Errorf("%s: consumed %d bytes on error", tc.name, n)
+		}
+	}
+}
+
+func TestParseResponseErrors(t *testing.T) {
+	valid := AppendResponse(nil, Response{ID: 5, Conn: 1, N: 512, Read: true})
+	header := valid[:ResponseHeaderBytes]
+
+	badOp := append([]byte(nil), header...)
+	badOp[3] = byte(OpRead)
+	overflowN := append([]byte(nil), header...)
+	binary.LittleEndian.PutUint64(overflowN[24:], MaxTransferBytes+512)
+	badPayload := append([]byte(nil), header...)
+	binary.LittleEndian.PutUint32(badPayload[4:], ResponseHeaderBytes+8)
+	badPayload = append(badPayload, make([]byte, 8)...)
+
+	cases := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"truncated payload", valid[:len(valid)-1], ErrTruncated},
+		{"request op in response stream", badOp, ErrOp},
+		{"overflow n", overflowN, ErrTransfer},
+		{"payload mismatch", badPayload, ErrLength},
+	}
+	for _, tc := range cases {
+		_, n, err := ParseResponse(tc.in)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+		if n != 0 {
+			t.Errorf("%s: consumed %d bytes on error", tc.name, n)
+		}
+	}
+}
+
+func TestWireBytes(t *testing.T) {
+	read := Request{Op: OpRead, N: 4096}
+	if got := read.WireBytes(); got != RequestHeaderBytes {
+		t.Fatalf("read request wire bytes %d, want header only", got)
+	}
+	write := Request{Op: OpWrite, N: 4096}
+	if got := write.WireBytes(); got != RequestHeaderBytes+4096 {
+		t.Fatalf("write request wire bytes %d, want header+payload", got)
+	}
+	rresp := Response{Read: true, N: 4096}
+	if got := rresp.WireBytes(); got != ResponseHeaderBytes+4096 {
+		t.Fatalf("read response wire bytes %d, want header+payload", got)
+	}
+	wresp := Response{N: 4096}
+	if got := wresp.WireBytes(); got != ResponseHeaderBytes {
+		t.Fatalf("write response wire bytes %d, want header only", got)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpRead.String() != "read" || OpWrite.String() != "write" {
+		t.Fatalf("op names: %s/%s", OpRead, OpWrite)
+	}
+	if !strings.Contains(Op(9).String(), "9") {
+		t.Fatalf("unknown op string: %s", Op(9))
+	}
+}

@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"snacc/internal/sim"
+)
+
+// This file is the open-loop half of the package: instead of a closed loop
+// that issues the next operation when the previous one completes (Run /
+// Replay), an OpenLoop engine produces a timed arrival stream the way a
+// serving fleet loads a front end — requests arrive when clients send them,
+// whether or not the system has finished the ones before. Slow service does
+// not slow arrivals; it grows queues, and whatever admission policy the
+// serving tier applies (backpressure, load shedding) becomes visible instead
+// of being hidden by the generator.
+
+// PhaseSpec is one segment of an open-loop rate schedule: the baseline
+// arrival rate is multiplied by RateScale for Duration of generated time.
+// Phases cycle, so a two-entry schedule of a long calm phase and a short
+// high-scale phase models recurring bursts; longer schedules approximate a
+// diurnal curve.
+type PhaseSpec struct {
+	RateScale float64
+	Duration  sim.Time
+}
+
+// OpenLoopSpec describes an open-loop arrival stream.
+type OpenLoopSpec struct {
+	// Clients is the simulated client population; every arrival is drawn
+	// from it uniformly. The serving tier sizes its connection table to
+	// this count.
+	Clients int
+	// RatePerSec is the aggregate baseline arrival rate across all
+	// clients, in requests per second. Inter-arrival gaps are exponential
+	// (Poisson arrivals), the standard open-loop model.
+	RatePerSec float64
+	// Ops is the total number of arrivals to generate.
+	Ops int64
+	// ReadFraction in [0,1] is the probability each request is a read.
+	ReadFraction float64
+	// IOBytes is the per-request transfer size (positive multiple of 512).
+	IOBytes int64
+	// SpanBytes bounds the addressed region (per tenant when Tenants > 0).
+	SpanBytes int64
+	// ZipfTheta in (0,1) skews the key distribution (0.99 is the YCSB
+	// default); ZipfBuckets is the hot-set granularity.
+	ZipfTheta   float64
+	ZipfBuckets int
+	// Phases is the burst/diurnal rate schedule; empty means a steady
+	// baseline rate.
+	Phases []PhaseSpec
+	// CloseProb in [0,1) is the per-arrival probability that the request
+	// also ends its client's connection (session churn); the client's next
+	// request reopens it.
+	CloseProb float64
+	// Tenants, when positive, stamps each arrival with a uniform tenant
+	// index in [0, Tenants) and makes addresses tenant-relative.
+	Tenants int
+	Seed    uint64
+}
+
+// Validate reports configuration errors.
+func (s OpenLoopSpec) Validate() error {
+	switch {
+	case s.Clients < 1:
+		return fmt.Errorf("workload: open loop needs at least one client")
+	case s.Clients > math.MaxUint32:
+		return fmt.Errorf("workload: client count %d does not fit a 32-bit connection id", s.Clients)
+	case s.RatePerSec <= 0 || math.IsInf(s.RatePerSec, 0) || math.IsNaN(s.RatePerSec):
+		return fmt.Errorf("workload: arrival rate must be a positive finite rate")
+	case s.Ops < 1:
+		return fmt.Errorf("workload: open loop needs at least one arrival")
+	case s.ReadFraction < 0 || s.ReadFraction > 1:
+		return fmt.Errorf("workload: read fraction outside [0,1]")
+	case s.IOBytes <= 0 || s.IOBytes%512 != 0:
+		return fmt.Errorf("workload: IOBytes must be a positive multiple of 512")
+	case s.SpanBytes < s.IOBytes:
+		return fmt.Errorf("workload: span smaller than one operation")
+	case s.ZipfTheta <= 0 || s.ZipfTheta >= 1 || s.ZipfBuckets <= 0:
+		return fmt.Errorf("workload: open loop needs zipf theta in (0,1) and positive buckets")
+	case s.CloseProb < 0 || s.CloseProb >= 1:
+		return fmt.Errorf("workload: close probability outside [0,1)")
+	case s.Tenants < 0 || s.Tenants > math.MaxUint16:
+		return fmt.Errorf("workload: tenant count %d does not fit a 16-bit tenant id", s.Tenants)
+	}
+	for i, ph := range s.Phases {
+		if ph.RateScale <= 0 || math.IsInf(ph.RateScale, 0) || math.IsNaN(ph.RateScale) {
+			return fmt.Errorf("workload: phase %d: rate scale must be a positive finite factor", i)
+		}
+		if ph.Duration <= 0 {
+			return fmt.Errorf("workload: phase %d: duration must be positive", i)
+		}
+	}
+	return nil
+}
+
+// Arrival is one open-loop request: when it arrives, who sent it, and what
+// it asks the storage tier to do.
+type Arrival struct {
+	// Due is the arrival time relative to the start of the stream.
+	Due sim.Time
+	// ID is the request id, unique and monotone across the stream.
+	ID uint64
+	// Conn is the issuing client's connection id in [0, Clients).
+	Conn uint32
+	// Tenant is the target tenant (0 when untenanted).
+	Tenant uint16
+	Read   bool
+	// Addr is the (tenant-relative) device byte address; N the length.
+	Addr uint64
+	N    int64
+	// Fin marks the client's last request on this connection.
+	Fin bool
+}
+
+// OpenLoop generates the deterministic arrival stream for a spec.
+type OpenLoop struct {
+	spec    OpenLoopSpec
+	rng     *sim.Rand
+	zipfCDF []float64
+	issued  int64
+	now     sim.Time
+	phase   int
+	// phaseLeft is the generated time remaining in the current phase.
+	phaseLeft sim.Time
+}
+
+// NewOpenLoop validates the spec and builds the engine.
+func NewOpenLoop(spec OpenLoopSpec) (*OpenLoop, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	o := &OpenLoop{
+		spec:    spec,
+		rng:     sim.NewRand(spec.Seed),
+		zipfCDF: buildZipfCDF(spec.ZipfTheta, spec.ZipfBuckets),
+	}
+	if len(spec.Phases) > 0 {
+		o.phaseLeft = spec.Phases[0].Duration
+	}
+	return o, nil
+}
+
+// rate returns the current arrival rate in requests per second.
+func (o *OpenLoop) rate() float64 {
+	if len(o.spec.Phases) == 0 {
+		return o.spec.RatePerSec
+	}
+	return o.spec.RatePerSec * o.spec.Phases[o.phase].RateScale
+}
+
+// advancePhase consumes dt of generated time from the phase schedule. A gap
+// longer than the remaining phase carries into the next phase without
+// resampling — the rate change applies from the next arrival on.
+func (o *OpenLoop) advancePhase(dt sim.Time) {
+	if len(o.spec.Phases) == 0 {
+		return
+	}
+	o.phaseLeft -= dt
+	for o.phaseLeft <= 0 {
+		o.phase = (o.phase + 1) % len(o.spec.Phases)
+		o.phaseLeft += o.spec.Phases[o.phase].Duration
+	}
+}
+
+// Next returns the next arrival, or false when the stream is exhausted. The
+// rng draw order per arrival is fixed (gap, conn, tenant, direction, two
+// address draws, churn), so the stream is byte-identical for a given seed
+// regardless of how the consumer schedules it.
+func (o *OpenLoop) Next() (Arrival, bool) {
+	if o.issued >= o.spec.Ops {
+		return Arrival{}, false
+	}
+	// Exponential inter-arrival at the current phase's rate. 1-Float64()
+	// is in (0,1], so the log is finite.
+	gapSec := -math.Log(1-o.rng.Float64()) / o.rate()
+	gap := sim.Time(gapSec*float64(sim.Second) + 0.5)
+	o.now += gap
+	o.advancePhase(gap)
+
+	a := Arrival{
+		Due:  o.now,
+		ID:   uint64(o.issued),
+		Conn: uint32(o.rng.Int63n(int64(o.spec.Clients))),
+		N:    o.spec.IOBytes,
+	}
+	if o.spec.Tenants > 1 {
+		a.Tenant = uint16(o.rng.Int63n(int64(o.spec.Tenants)))
+	}
+	a.Read = o.rng.Float64() < o.spec.ReadFraction
+	a.Addr = zipfAddr(o.rng, o.zipfCDF, o.spec.SpanBytes/o.spec.IOBytes, o.spec.IOBytes)
+	if o.spec.CloseProb > 0 {
+		a.Fin = o.rng.Float64() < o.spec.CloseProb
+	}
+	o.issued++
+	return a, true
+}
+
+// Generated reports how many arrivals have been produced so far.
+func (o *OpenLoop) Generated() int64 { return o.issued }

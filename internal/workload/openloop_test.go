@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"snacc/internal/sim"
+)
+
+func validOpenLoop() OpenLoopSpec {
+	return OpenLoopSpec{
+		Clients:      1000,
+		RatePerSec:   1e6,
+		Ops:          500,
+		ReadFraction: 0.7,
+		IOBytes:      4096,
+		SpanBytes:    64 * sim.MiB,
+		ZipfTheta:    0.9,
+		ZipfBuckets:  32,
+		CloseProb:    0.1,
+		Seed:         42,
+	}
+}
+
+func TestOpenLoopSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*OpenLoopSpec)
+		want string
+	}{
+		{"no clients", func(s *OpenLoopSpec) { s.Clients = 0 }, "at least one client"},
+		{"too many clients", func(s *OpenLoopSpec) { s.Clients = 1 << 33 }, "32-bit"},
+		{"zero rate", func(s *OpenLoopSpec) { s.RatePerSec = 0 }, "rate"},
+		{"negative rate", func(s *OpenLoopSpec) { s.RatePerSec = -5 }, "rate"},
+		{"nan rate", func(s *OpenLoopSpec) { s.RatePerSec = nan() }, "rate"},
+		{"no ops", func(s *OpenLoopSpec) { s.Ops = 0 }, "at least one arrival"},
+		{"bad read fraction", func(s *OpenLoopSpec) { s.ReadFraction = 1.5 }, "read fraction"},
+		{"unaligned io", func(s *OpenLoopSpec) { s.IOBytes = 1000 }, "multiple of 512"},
+		{"zero io", func(s *OpenLoopSpec) { s.IOBytes = 0 }, "multiple of 512"},
+		{"tiny span", func(s *OpenLoopSpec) { s.SpanBytes = 512 }, "span"},
+		{"bad theta", func(s *OpenLoopSpec) { s.ZipfTheta = 1.5 }, "zipf"},
+		{"no buckets", func(s *OpenLoopSpec) { s.ZipfBuckets = 0 }, "zipf"},
+		{"close prob one", func(s *OpenLoopSpec) { s.CloseProb = 1 }, "close probability"},
+		{"negative close prob", func(s *OpenLoopSpec) { s.CloseProb = -0.1 }, "close probability"},
+		{"too many tenants", func(s *OpenLoopSpec) { s.Tenants = 1 << 17 }, "tenant"},
+		{"bad phase scale", func(s *OpenLoopSpec) {
+			s.Phases = []PhaseSpec{{RateScale: 0, Duration: sim.Microsecond}}
+		}, "phase 0"},
+		{"bad phase duration", func(s *OpenLoopSpec) {
+			s.Phases = []PhaseSpec{{RateScale: 1, Duration: 0}}
+		}, "phase 0"},
+	}
+	for _, tc := range cases {
+		spec := validOpenLoop()
+		tc.mut(&spec)
+		err := spec.Validate()
+		if err == nil {
+			t.Errorf("%s: validated", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+		if _, err := NewOpenLoop(spec); err == nil {
+			t.Errorf("%s: NewOpenLoop accepted invalid spec", tc.name)
+		}
+	}
+	if err := validOpenLoop().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+func TestOpenLoopStream(t *testing.T) {
+	spec := validOpenLoop()
+	o, err := NewOpenLoop(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		last  sim.Time
+		reads int64
+		fins  int64
+	)
+	seen := make(map[uint64]bool)
+	for i := int64(0); ; i++ {
+		a, ok := o.Next()
+		if !ok {
+			if i != spec.Ops {
+				t.Fatalf("stream ended after %d of %d arrivals", i, spec.Ops)
+			}
+			break
+		}
+		if a.Due < last {
+			t.Fatalf("arrival %d due %v before predecessor %v", i, a.Due, last)
+		}
+		last = a.Due
+		if a.ID != uint64(i) {
+			t.Fatalf("arrival %d has id %d", i, a.ID)
+		}
+		if seen[a.ID] {
+			t.Fatalf("duplicate id %d", a.ID)
+		}
+		seen[a.ID] = true
+		if int(a.Conn) >= spec.Clients {
+			t.Fatalf("conn %d outside population %d", a.Conn, spec.Clients)
+		}
+		if a.Tenant != 0 {
+			t.Fatalf("untenanted stream stamped tenant %d", a.Tenant)
+		}
+		if a.N != spec.IOBytes || a.Addr%uint64(spec.IOBytes) != 0 ||
+			a.Addr+uint64(a.N) > uint64(spec.SpanBytes) {
+			t.Fatalf("arrival %d shape addr=%d n=%d", i, a.Addr, a.N)
+		}
+		if a.Read {
+			reads++
+		}
+		if a.Fin {
+			fins++
+		}
+	}
+	if o.Generated() != spec.Ops {
+		t.Fatalf("Generated() = %d, want %d", o.Generated(), spec.Ops)
+	}
+	frac := float64(reads) / float64(spec.Ops)
+	if frac < 0.55 || frac > 0.85 {
+		t.Fatalf("read fraction %.2f far from 0.7", frac)
+	}
+	if fins == 0 {
+		t.Fatalf("close probability 0.1 produced no FINs in %d arrivals", spec.Ops)
+	}
+	// The mean inter-arrival gap should approximate 1/rate.
+	meanGap := float64(last) / float64(spec.Ops)
+	wantGap := float64(sim.Second) / spec.RatePerSec
+	if meanGap < wantGap*0.7 || meanGap > wantGap*1.3 {
+		t.Fatalf("mean gap %.0f ns, want about %.0f ns", meanGap, wantGap)
+	}
+}
+
+// TestOpenLoopDeterminism pins the generator contract the serving tier's
+// byte-identical reports rest on: the same seed replays the same stream.
+func TestOpenLoopDeterminism(t *testing.T) {
+	gen := func() []Arrival {
+		o, err := NewOpenLoop(validOpenLoop())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []Arrival
+		for {
+			a, ok := o.Next()
+			if !ok {
+				return out
+			}
+			out = append(out, a)
+		}
+	}
+	a, b := gen(), gen()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	other, err := NewOpenLoop(func() OpenLoopSpec { s := validOpenLoop(); s.Seed++; return s }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := other.Next()
+	if first == a[0] {
+		t.Fatalf("different seeds produced the same first arrival")
+	}
+}
+
+// TestOpenLoopPhases checks the burst schedule: a 10x phase compresses
+// inter-arrival gaps by about 10x relative to the baseline phase.
+func TestOpenLoopPhases(t *testing.T) {
+	spec := validOpenLoop()
+	spec.Ops = 20000
+	spec.CloseProb = 0
+	spec.Phases = []PhaseSpec{
+		{RateScale: 1, Duration: 100 * sim.Microsecond},
+		{RateScale: 10, Duration: 100 * sim.Microsecond},
+	}
+	o, err := NewOpenLoop(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bucket arrivals by which phase their due time falls in.
+	var counts [2]int64
+	cycle := 200 * sim.Microsecond
+	for {
+		a, ok := o.Next()
+		if !ok {
+			break
+		}
+		if a.Due%cycle < 100*sim.Microsecond {
+			counts[0]++
+		} else {
+			counts[1]++
+		}
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatalf("phase counts %v", counts)
+	}
+	ratio := float64(counts[1]) / float64(counts[0])
+	if ratio < 6 || ratio > 14 {
+		t.Fatalf("burst/baseline arrival ratio %.1f, want about 10", ratio)
+	}
+}
+
+// TestOpenLoopTenants checks tenant stamping covers the configured range.
+func TestOpenLoopTenants(t *testing.T) {
+	spec := validOpenLoop()
+	spec.Tenants = 4
+	spec.Ops = 2000
+	o, err := NewOpenLoop(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint16]int64)
+	for {
+		a, ok := o.Next()
+		if !ok {
+			break
+		}
+		if int(a.Tenant) >= spec.Tenants {
+			t.Fatalf("tenant %d outside range %d", a.Tenant, spec.Tenants)
+		}
+		seen[a.Tenant]++
+	}
+	if len(seen) != spec.Tenants {
+		t.Fatalf("only %d of %d tenants drawn", len(seen), spec.Tenants)
+	}
+}

@@ -97,17 +97,48 @@ func NewGenerator(spec Spec) (*Generator, error) {
 	}
 	g := &Generator{spec: spec, rng: sim.NewRand(spec.Seed)}
 	if spec.Pattern == Zipfian {
-		g.zipfCDF = make([]float64, spec.ZipfBuckets)
-		sum := 0.0
-		for i := 0; i < spec.ZipfBuckets; i++ {
-			sum += 1 / math.Pow(float64(i+1), spec.ZipfTheta)
-			g.zipfCDF[i] = sum
-		}
-		for i := range g.zipfCDF {
-			g.zipfCDF[i] /= sum
-		}
+		g.zipfCDF = buildZipfCDF(spec.ZipfTheta, spec.ZipfBuckets)
 	}
 	return g, nil
+}
+
+// buildZipfCDF precomputes the cumulative bucket weights of a Zipfian
+// distribution with the given skew over buckets ranks.
+func buildZipfCDF(theta float64, buckets int) []float64 {
+	cdf := make([]float64, buckets)
+	sum := 0.0
+	for i := 0; i < buckets; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return cdf
+}
+
+// zipfAddr draws one Zipfian-skewed address: a hot bucket by inverse CDF,
+// then a uniform slot within it. It consumes exactly two rng draws.
+func zipfAddr(rng *sim.Rand, cdf []float64, slots, ioBytes int64) uint64 {
+	u := rng.Float64()
+	lo, hi := 0, len(cdf)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	bucketSlots := slots / int64(len(cdf))
+	if bucketSlots == 0 {
+		bucketSlots = 1
+	}
+	slot := int64(lo)*bucketSlots + rng.Int63n(bucketSlots)
+	if slot >= slots {
+		slot = slots - 1
+	}
+	return uint64(slot) * uint64(ioBytes)
 }
 
 // Next returns the next operation, or false when the workload is done.
@@ -129,27 +160,7 @@ func (g *Generator) Next() (Op, bool) {
 	case Random:
 		op.Addr = uint64(g.rng.Int63n(slots)) * uint64(g.spec.IOBytes)
 	case Zipfian:
-		// Pick a hot bucket by inverse CDF, then a uniform slot within it.
-		u := g.rng.Float64()
-		lo, hi := 0, len(g.zipfCDF)
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if g.zipfCDF[mid] < u {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		bucketSlots := slots / int64(g.spec.ZipfBuckets)
-		if bucketSlots == 0 {
-			bucketSlots = 1
-		}
-		base := int64(lo) * bucketSlots
-		slot := base + g.rng.Int63n(bucketSlots)
-		if slot >= slots {
-			slot = slots - 1
-		}
-		op.Addr = uint64(slot) * uint64(g.spec.IOBytes)
+		op.Addr = zipfAddr(g.rng, g.zipfCDF, slots, g.spec.IOBytes)
 	}
 	return op, true
 }

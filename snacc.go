@@ -23,14 +23,17 @@ import (
 	"fmt"
 
 	"snacc/internal/cluster"
+	"snacc/internal/ethernet"
 	"snacc/internal/fault"
 	"snacc/internal/fpga"
 	"snacc/internal/nvme"
 	"snacc/internal/obs"
 	"snacc/internal/pcie"
+	"snacc/internal/serve"
 	"snacc/internal/sim"
 	"snacc/internal/streamer"
 	"snacc/internal/tapasco"
+	"snacc/internal/workload"
 )
 
 // Span is a traced NVMe command: timestamped pipeline stages from PE
@@ -124,6 +127,133 @@ type Options struct {
 	// Options.Tenants are incompatible with cluster mode (use
 	// ClusterOptions.NodeFaults for per-node injection).
 	Cluster *ClusterOptions
+	// Serve, when non-nil, attaches the open-loop RPC serving tier: a
+	// simulated client fleet sends length-prefixed read/write capsules over
+	// the 100 G link into a frame decoder, connection table and dispatch
+	// queue in front of the Streamer. System.Serve runs the workload to
+	// quiescence and returns the fleet-side report. With Options.Tenants
+	// set, requests are stamped with tenant IDs and dispatched through the
+	// virtualized hub, one lane per tenant. Incompatible with
+	// Options.Cluster. Under KernelWorkers > 1 the fleet runs in its own
+	// shard domain joined to the FPGA side by wire-latency edges; reports
+	// are identical at any worker count.
+	Serve *ServeOptions
+}
+
+// ServePhase is one step of the serving workload's burst schedule: the
+// baseline arrival rate is multiplied by RateScale for DurationNs of
+// simulated time, and the schedule cycles.
+type ServePhase struct {
+	RateScale  float64
+	DurationNs int64
+}
+
+// ServeOptions configures Options.Serve, the open-loop serving tier. The
+// zero value of every field selects the default noted on it, so
+// Options{Serve: &ServeOptions{}} is a complete serving system.
+type ServeOptions struct {
+	// Clients is the simulated client population (default 10 000).
+	Clients int
+	// RatePerSec is the aggregate open-loop arrival rate before phase
+	// scaling (default 500 000/s).
+	RatePerSec float64
+	// Requests is the total arrivals to generate (default 4000).
+	Requests int64
+	// IOBytes is the per-request transfer size, a positive multiple of
+	// 512 (default 4 KiB).
+	IOBytes int64
+	// SpanBytes is the logical byte span requests address (default
+	// 256 MiB). With tenants it must fit the tenant LBA windows.
+	SpanBytes int64
+	// ReadFraction is the probability a request is a read; 0 selects the
+	// default 0.7.
+	ReadFraction float64
+	// ZipfTheta / ZipfBuckets shape the zipfian address distribution
+	// (defaults 0.9 and 64).
+	ZipfTheta   float64
+	ZipfBuckets int
+	// Phases is the burst schedule; empty means a flat rate.
+	Phases []ServePhase
+	// CloseProbability is the per-request chance the client closes its
+	// connection afterwards (session churn). Default 0: connections stay
+	// open.
+	CloseProbability float64
+	// Seed drives the workload generator (0 selects a fixed default).
+	Seed uint64
+	// Server tuning, 0 = package defaults: dispatch-queue depth and batch,
+	// capsules coalesced per Ethernet frame, and the per-fleet backlog
+	// bound past which paused arrivals are shed.
+	DispatchDepth int
+	DispatchBatch int
+	FrameBatch    int
+	ClientBacklog int
+}
+
+// ServeReport is the serving tier's end-of-run accounting: arrivals
+// generated/sent/shed, completions and goodput, due→response latency
+// percentiles, dispatch-queue and connection-table high-water marks, the
+// connection-state footprint in bytes, and 802.3x pause activity.
+type ServeReport = serve.Report
+
+// serveSeedDefault keeps default ServeOptions runs aligned with the bench
+// suite's serve sweep.
+const serveSeedDefault = 0x5ac5
+
+// build translates the public options into the internal workload spec and
+// tier config, filling defaults. Validation happens in serve.New.
+func (o *ServeOptions) build(tenants int) (workload.OpenLoopSpec, serve.Config) {
+	spec := workload.OpenLoopSpec{
+		Clients:      o.Clients,
+		RatePerSec:   o.RatePerSec,
+		Ops:          o.Requests,
+		ReadFraction: o.ReadFraction,
+		IOBytes:      o.IOBytes,
+		SpanBytes:    o.SpanBytes,
+		ZipfTheta:    o.ZipfTheta,
+		ZipfBuckets:  o.ZipfBuckets,
+		CloseProb:    o.CloseProbability,
+		Seed:         o.Seed,
+		Tenants:      tenants,
+	}
+	if spec.Clients == 0 {
+		spec.Clients = 10_000
+	}
+	if spec.RatePerSec == 0 {
+		spec.RatePerSec = 500e3
+	}
+	if spec.Ops == 0 {
+		spec.Ops = 4000
+	}
+	if spec.ReadFraction == 0 {
+		spec.ReadFraction = 0.7
+	}
+	if spec.IOBytes == 0 {
+		spec.IOBytes = 4 * sim.KiB
+	}
+	if spec.SpanBytes == 0 {
+		spec.SpanBytes = 256 * sim.MiB
+	}
+	if spec.ZipfTheta == 0 {
+		spec.ZipfTheta = 0.9
+	}
+	if spec.ZipfBuckets == 0 {
+		spec.ZipfBuckets = 64
+	}
+	if spec.Seed == 0 {
+		spec.Seed = serveSeedDefault
+	}
+	for _, ph := range o.Phases {
+		spec.Phases = append(spec.Phases, workload.PhaseSpec{
+			RateScale: ph.RateScale,
+			Duration:  sim.Time(ph.DurationNs),
+		})
+	}
+	return spec, serve.Config{
+		DispatchDepth: o.DispatchDepth,
+		DispatchBatch: o.DispatchBatch,
+		FrameBatch:    o.FrameBatch,
+		ClientBacklog: o.ClientBacklog,
+	}
 }
 
 // ClusterOptions configures Options.Cluster: a replicated multi-node
@@ -272,6 +402,7 @@ type System struct {
 	hub      *streamer.TenantHub // nil unless Options.Tenants was set
 	tclients []*streamer.TenantClient
 	cluster  *cluster.Cluster // nil unless Options.Cluster was set
+	serve    *serve.Tier      // nil unless Options.Serve was set
 }
 
 // systemBARWindow is where enumeration places discovered device BARs.
@@ -298,13 +429,32 @@ func NewSystem(opts Options) (*System, error) {
 		return nil, fmt.Errorf("snacc: KernelWorkers must be non-negative, got %d", opts.KernelWorkers)
 	}
 	if opts.Cluster != nil {
+		if opts.Serve != nil {
+			return nil, fmt.Errorf("snacc: Options.Serve is incompatible with Options.Cluster")
+		}
 		return newClusterSystem(opts, functional)
 	}
-	var shard *sim.Shard
+	var (
+		shard    *sim.Shard
+		fleetK   *sim.Kernel // serve client fleet's domain kernel (sharded runs)
+		toServer *sim.Edge
+		toFleet  *sim.Edge
+	)
 	k := sim.NewKernel()
 	if opts.KernelWorkers > 1 {
 		shard = sim.NewShard(opts.KernelWorkers)
-		k = shard.AddDomain("system").Kernel()
+		sysD := shard.AddDomain("system")
+		k = sysD.Kernel()
+		if opts.Serve != nil {
+			// The client fleet only talks to the FPGA side through the
+			// Ethernet link, so it gets its own domain with wire-latency
+			// lookahead on both edges.
+			fleet := shard.AddDomain("clients")
+			fleetK = fleet.Kernel()
+			look := ethernet.DefaultConfig().EdgeLookahead()
+			toServer = shard.MustConnect(fleet, sysD, look)
+			toFleet = shard.MustConnect(sysD, fleet, look)
+		}
 	}
 	pl := tapasco.NewPlatform(k, tapasco.DefaultU280())
 	devCfg := nvme.DefaultConfig("ssd0", 0) // BAR assigned by enumeration
@@ -389,6 +539,26 @@ func NewSystem(opts Options) (*System, error) {
 		for i := 0; i < hub.Tenants(); i++ {
 			sys.tclients = append(sys.tclients, hub.Client(i))
 		}
+	}
+	if opts.Serve != nil {
+		spec, cfg := opts.Serve.build(len(opts.Tenants))
+		var backend serve.Backend
+		if sys.hub != nil {
+			backend = serve.NewHubBackend(sys.hub)
+		} else {
+			backend = serve.NewStreamerBackend(sys.client)
+		}
+		var tier *serve.Tier
+		var err error
+		if shard != nil {
+			tier, err = serve.NewCross(fleetK, k, toServer, toFleet, cfg, spec, backend)
+		} else {
+			tier, err = serve.New(k, cfg, spec, backend)
+		}
+		if err != nil {
+			return nil, err
+		}
+		sys.serve = tier
 	}
 	return sys, nil
 }
@@ -603,6 +773,30 @@ func (s *System) Execute(fn func(h *Handle)) {
 	} else {
 		s.kernel.Run(0)
 	}
+}
+
+// Serve runs the configured open-loop serving workload (Options.Serve) to
+// quiescence and returns the fleet's report. The client fleet starts at the
+// current simulated time, sends every generated arrival (or sheds it at the
+// paused client under overload) and the call returns once the last response
+// has drained. A system serves once; a second call reports an error.
+func (s *System) Serve() (ServeReport, error) {
+	if s.serve == nil {
+		return ServeReport{}, fmt.Errorf("snacc: Serve requires Options.Serve")
+	}
+	now := s.kernel.Now()
+	if s.shard != nil {
+		now = s.shard.Now()
+	}
+	if err := s.serve.Start(now); err != nil {
+		return ServeReport{}, err
+	}
+	if s.shard != nil {
+		s.shard.Run(0)
+	} else {
+		s.kernel.Run(0)
+	}
+	return s.serve.Report(), nil
 }
 
 // KernelWorkers returns the sharded scheduler's worker budget, or 1 when
