@@ -56,12 +56,19 @@ bench:
 
 # One-iteration pass over the kernel micro-benchmarks under the race
 # detector: catches data races and bit-rot on the sharded hot paths without
-# the cost of a real measurement run. Wired into `make test`.
+# the cost of a real measurement run. BenchmarkShardedRing runs the 4-domain
+# rig at workers 1, 2, and 4 and cross-checks every iteration's per-domain
+# digests against a serial reference, so this pass is also a determinism
+# check on the concurrent round loop. Wired into `make test`.
 bench-smoke: vet
 	$(GO) test -race -run XXX -bench 'BenchmarkKernel|BenchmarkSharded' -benchtime 1x -benchmem ./internal/sim/
 
 # Sharded-kernel worker sweep (events/s, determinism digests) -> BENCH_kernel.json
+# The ceiling test first: rounds-per-event on the ring rig must stay below
+# the pinned bound, so a regression in the per-domain safe-time sync fails
+# here instead of silently inflating the sweep's round counts.
 kernel:
+	$(GO) test -run 'TestShardRingRoundsCeiling' ./internal/sim/
 	$(GO) run ./cmd/snaccbench -kernelworkers 1,2,4
 
 # Fault-injection suite: recovery unit tests, accounting invariants, and the

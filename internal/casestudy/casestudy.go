@@ -56,8 +56,11 @@ type Config struct {
 	// (and the switch, when UseSwitch is set) becomes its own domain,
 	// linked to the receive-side FPGA+SSD domain across the 100 G wire —
 	// the one boundary in this topology with a declared minimum latency.
-	// 0 or 1 keeps the single serial kernel. Results are identical either
-	// way (pinned by TestSNAccKernelWorkersIdentical).
+	// Each domain advances by its own safe time (per-inbound-edge earliest
+	// output times, not a global lockstep window; see sim.Shard and
+	// Shard.SyncStats for the overhead counters). 0 or 1 keeps the single
+	// serial kernel. Results are identical either way (pinned by
+	// TestSNAccKernelWorkersIdentical).
 	KernelWorkers int
 	// Functional moves real pixel bytes end to end (slow; tests only).
 	Functional bool

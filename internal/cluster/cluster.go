@@ -79,7 +79,10 @@ type Config struct {
 	// when 0).
 	VNodes int
 	// KernelWorkers is the shard worker budget (min 1; results are
-	// identical at any count).
+	// identical at any count). Domains synchronize by per-domain safe
+	// times, so a node whose inbound links are quiet advances past the
+	// global minimum lookahead; sim.Shard.SyncStats exposes the round
+	// counters.
 	KernelWorkers int
 	// Functional moves real payload bytes end to end.
 	Functional bool

@@ -100,6 +100,25 @@ func (c Config) EdgeLookahead() sim.Time {
 	return link.PropagationLatency
 }
 
+// EdgeTurnaround returns the arrival-to-send floor a per-controller domain
+// may declare (sim.Domain.SetTurnaround) when its cross-domain traffic is
+// command-level — an inbound command cannot produce a completion before the
+// firmware front end has serialized it, so the smaller of the two front-end
+// costs bounds the controller's earliest response. Zero (promise nothing)
+// when either cost is unset, or for rigs whose boundary also carries
+// sub-command traffic (doorbell-triggered fetch DMA), where no such floor
+// exists.
+func (c Config) EdgeTurnaround() sim.Time {
+	min := c.FrontEndReadCost
+	if c.FrontEndWriteCost < min {
+		min = c.FrontEndWriteCost
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
 // queuePair tracks one SQ/CQ pair from the controller's perspective.
 type queuePair struct {
 	id      uint16

@@ -48,6 +48,7 @@ func BenchmarkKernelScheduleDeep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		// Pop one event, push a replacement: constant-depth churn.
 		e := k.queue.pop()
+		k.finishPop(&e)
 		k.now = e.at
 		k.executed++
 		k.At(k.now+Time(i%61)+1, nop)
@@ -150,13 +151,23 @@ func BenchmarkShardedIntraDomain(b *testing.B) {
 // BenchmarkShardedRing drives the 4-domain determinism rig shape at each
 // worker count so `go test -bench ShardedRing` shows the raw conservative-
 // sync scaling on the host (see bench.KernelSweep for the calibrated chain).
+// Every iteration's per-domain digests are cross-checked against a serial
+// reference run, so the race-detector smoke pass (`make bench-smoke`) doubles
+// as a determinism check on the concurrent round loop.
 func BenchmarkShardedRing(b *testing.B) {
+	want, _, _ := ringRig(1)
 	for _, w := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			var events uint64
 			for i := 0; i < b.N; i++ {
-				_, n, _ := ringRig(w)
+				digests, n, _ := ringRig(w)
 				events += n
+				for d, got := range digests {
+					if got != want[d] {
+						b.Fatalf("workers=%d domain %d digest %016x != serial %016x (determinism violation)",
+							w, d, got, want[d])
+					}
+				}
 			}
 			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 		})

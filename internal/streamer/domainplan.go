@@ -39,6 +39,17 @@ func DomainPlan(eth ethernet.Config, controllers ...nvme.Config) sim.Plan {
 			sim.EdgeSpec{Src: "pcie", Dst: name, Lookahead: link},
 			sim.EdgeSpec{Src: name, Dst: "pcie", Lookahead: link},
 		)
+		// The controllers' firmware front-end serialization is a safe
+		// arrival-to-send floor at a command-level boundary; declaring it
+		// widens every downstream window past the raw link lookahead
+		// (sim.SetTurnaround). Rigs whose firmware honors a larger floor
+		// (media latency, coalesced completion posting) override the map.
+		if turn := c.EdgeTurnaround(); turn > 0 {
+			if p.Turnarounds == nil {
+				p.Turnarounds = make(map[string]sim.Time)
+			}
+			p.Turnarounds[name] = turn
+		}
 	}
 	return p
 }

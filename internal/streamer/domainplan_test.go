@@ -48,6 +48,17 @@ func TestDomainPlanShape(t *testing.T) {
 	if got := p.MinLookahead(); got != c0.EdgeLookahead() {
 		t.Errorf("MinLookahead = %v, want %v", got, c0.EdgeLookahead())
 	}
+	// Each controller declares its firmware front-end floor as turnaround;
+	// the fabric and MAC domains promise nothing.
+	if got := p.Turnarounds["nvme0"]; got != c0.EdgeTurnaround() {
+		t.Errorf("nvme0 turnaround %v, want front-end floor %v", got, c0.EdgeTurnaround())
+	}
+	if c0.EdgeTurnaround() <= 0 {
+		t.Error("stock config declares no front-end turnaround floor")
+	}
+	if _, ok := p.Turnarounds["pcie"]; ok {
+		t.Error("pcie domain must not declare a turnaround")
+	}
 	// And it must materialize onto a shard.
 	s := sim.NewShard(1)
 	domains, edges, err := p.Build(s)
